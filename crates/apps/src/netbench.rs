@@ -1,0 +1,164 @@
+//! Network micro-benchmarks (§IV-F): the latency/bandwidth probes the
+//! paper uses to show that "the underlying network in most clouds performs
+//! an order of magnitude worse compared to typical HPC interconnects".
+
+use charm_core::{ArrayProxy, Chare, Ctx, Ix, MachineConfig, Runtime, SysEvent};
+use charm_pup::{Pup, Puper};
+
+use crate::util::SyntheticBlob;
+
+#[derive(Default)]
+struct Prober {
+    is_origin: bool,
+    reps_left: u32,
+    started: f64,
+    bytes: u64,
+}
+
+impl Pup for Prober {
+    fn pup(&mut self, p: &mut Puper) {
+        charm_pup::pup_all!(p; self.is_origin, self.reps_left, self.started, self.bytes);
+    }
+}
+
+#[derive(Default)]
+enum ProbeMsg {
+    Ping(SyntheticBlob),
+    #[default]
+    Pong,
+}
+
+impl Pup for ProbeMsg {
+    fn pup(&mut self, p: &mut Puper) {
+        let mut t: u8 = match self {
+            ProbeMsg::Ping(_) => 0,
+            ProbeMsg::Pong => 1,
+        };
+        p.p(&mut t);
+        if p.is_unpacking() {
+            *self = match t {
+                0 => ProbeMsg::Ping(SyntheticBlob::default()),
+                _ => ProbeMsg::Pong,
+            };
+        }
+        if let ProbeMsg::Ping(b) = self {
+            p.p(b);
+        }
+    }
+}
+
+
+impl Chare for Prober {
+    type Msg = ProbeMsg;
+
+    fn on_message(&mut self, msg: ProbeMsg, ctx: &mut Ctx<'_>) {
+        let me = ArrayProxy::<Prober>::from_id(ctx.my_id().array);
+        match msg {
+            ProbeMsg::Ping(_) => {
+                ctx.send(me, Ix::i1(0), ProbeMsg::Pong);
+            }
+            ProbeMsg::Pong => {
+                if self.reps_left > 0 {
+                    self.reps_left -= 1;
+                    ctx.send(me, Ix::i1(1), ProbeMsg::Ping(SyntheticBlob::new(self.bytes)));
+                } else {
+                    ctx.log_metric("probe_end", ctx.now().as_secs_f64() - self.started);
+                    ctx.exit();
+                }
+            }
+        }
+    }
+
+    fn on_event(&mut self, _ev: SysEvent, _ctx: &mut Ctx<'_>) {}
+}
+
+/// Measured point-to-point characteristics of a machine's network.
+#[derive(Debug, Clone, Copy)]
+pub struct NetProbe {
+    /// Half round-trip of an empty message, seconds.
+    pub latency_s: f64,
+    /// Streaming bandwidth from 1 MiB round trips, bytes/second.
+    pub bandwidth_bps: f64,
+}
+
+/// Ping-pong `reps` messages of `bytes` between PE 0 and PE 1; returns the
+/// mean one-way time.
+pub fn pingpong(machine: MachineConfig, bytes: u64, reps: u32) -> f64 {
+    let mut rt = Runtime::builder(machine).build();
+    let arr: ArrayProxy<Prober> = rt.create_array("probers");
+    rt.insert(
+        arr,
+        Ix::i1(0),
+        Prober {
+            is_origin: true,
+            reps_left: reps,
+            bytes,
+            ..Prober::default()
+        },
+        Some(0),
+    );
+    rt.insert(arr, Ix::i1(1), Prober::default(), Some(1));
+    rt.send(arr, Ix::i1(0), ProbeMsg::Pong); // kick the origin
+    rt.run();
+    let total = rt.metric("probe_end").last().expect("probe finished").1;
+    total / (2.0 * reps as f64)
+}
+
+/// Measure latency (empty messages) and bandwidth (1 MiB messages).
+pub fn probe(machine: MachineConfig) -> NetProbe {
+    let latency = pingpong(machine.clone(), 0, 50);
+    let big = 1 << 20;
+    let t_big = pingpong(machine, big, 20);
+    NetProbe {
+        latency_s: latency,
+        bandwidth_bps: big as f64 / (t_big - latency).max(1e-12),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charm_machine::presets;
+
+    #[test]
+    fn cloud_is_an_order_of_magnitude_worse() {
+        let mut cloud_cfg = presets::cloud(2);
+        cloud_cfg.network.jitter = 0.0; // deterministic probe
+        let hpc = probe(presets::stampede(2));
+        let cloud = probe(cloud_cfg);
+        assert!(
+            cloud.latency_s > hpc.latency_s * 10.0,
+            "cloud latency {:.2}us vs HPC {:.2}us",
+            cloud.latency_s * 1e6,
+            hpc.latency_s * 1e6
+        );
+        assert!(
+            hpc.bandwidth_bps > cloud.bandwidth_bps * 10.0,
+            "HPC bw {:.1}MB/s vs cloud {:.1}MB/s",
+            hpc.bandwidth_bps / 1e6,
+            cloud.bandwidth_bps / 1e6
+        );
+    }
+
+    #[test]
+    fn bandwidth_estimate_is_sane() {
+        let p = probe(presets::stampede(2));
+        // The IB preset is 5 GB/s; the probe should land within 2x.
+        assert!(
+            p.bandwidth_bps > 2.5e9 && p.bandwidth_bps < 10e9,
+            "measured {:.2} GB/s",
+            p.bandwidth_bps / 1e9
+        );
+    }
+
+    #[test]
+    fn latency_estimate_is_sane() {
+        let p = probe(presets::stampede(2));
+        // α=1.5us + overheads: expect a few microseconds one-way.
+        assert!(
+            p.latency_s > 1e-6 && p.latency_s < 10e-6,
+            "measured {:.2}us",
+            p.latency_s * 1e6
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Shared helpers for the mini-apps.
+
+use charm_pup::{Pup, Puper};
+
+/// A synthetic payload of `len` bytes that serializes to its full size
+/// without keeping the bytes in memory — gives chares (cells full of atoms,
+/// mesh blocks, hydro domains) *realistic checkpoint and migration volume*
+/// at simulation scale.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SyntheticBlob {
+    len: u64,
+}
+
+impl SyntheticBlob {
+    /// A blob standing in for `len` bytes of application data.
+    pub fn new(len: u64) -> Self {
+        SyntheticBlob { len }
+    }
+
+    /// Size the blob represents.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True for a zero-sized blob.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Resize (e.g. when atoms move between cells).
+    pub fn set_len(&mut self, len: u64) {
+        self.len = len;
+    }
+}
+
+impl Pup for SyntheticBlob {
+    fn pup(&mut self, p: &mut Puper) {
+        p.p(&mut self.len);
+        // Stream the body in fixed chunks: sizing counts it, packing emits
+        // zeros, unpacking skips over it — no O(len) resident allocation in
+        // the chare itself.
+        let mut scratch = [0u8; 4096];
+        let mut remaining = self.len;
+        while remaining > 0 {
+            let n = remaining.min(scratch.len() as u64) as usize;
+            p.bytes(&mut scratch[..n]);
+            remaining -= n as u64;
+        }
+    }
+}
+
+/// Deterministic spatial density: a Gaussian blob centered at `center`
+/// (fractions of the domain), producing per-cell multipliers in
+/// `[floor, floor + peak]`. Drives the load imbalance in LeanMD/Barnes-Hut.
+pub fn gaussian_density(
+    pos: [f64; 3],
+    center: [f64; 3],
+    sigma: f64,
+    floor: f64,
+    peak: f64,
+) -> f64 {
+    let d2: f64 = pos
+        .iter()
+        .zip(center.iter())
+        .map(|(a, b)| {
+            // periodic distance in unit cube
+            let d = (a - b).abs();
+            let d = d.min(1.0 - d);
+            d * d
+        })
+        .sum();
+    floor + peak * (-d2 / (2.0 * sigma * sigma)).exp()
+}
+
+/// Bit-vector tree index → lattice coordinates at depth `d` (level 0 is
+/// the most significant split; child bit k of level i maps to axis k).
+pub fn oct_coords(bits: u64, d: u8) -> [u32; 3] {
+    let mut c = [0u32; 3];
+    for level in 0..d {
+        let oct = (bits >> (3 * level)) & 0b111;
+        let shift = (d - 1 - level) as u32;
+        for (axis, cc) in c.iter_mut().enumerate() {
+            if oct & (1 << axis) != 0 {
+                *cc |= 1 << shift;
+            }
+        }
+    }
+    c
+}
+
+/// Lattice coordinates at depth `d` → bit-vector tree index bits.
+pub fn oct_bits(c: [u32; 3], d: u8) -> u64 {
+    let mut bits = 0u64;
+    for level in 0..d {
+        let shift = (d - 1 - level) as u32;
+        let mut oct = 0u64;
+        for (axis, cc) in c.iter().enumerate() {
+            if cc & (1 << shift) != 0 {
+                oct |= 1 << axis;
+            }
+        }
+        bits |= oct << (3 * level);
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charm_pup::{packed_size, roundtrip, to_bytes};
+
+    #[test]
+    fn blob_serializes_to_full_size() {
+        let mut b = SyntheticBlob::new(10_000);
+        assert_eq!(packed_size(&mut b), 8 + 10_000);
+        assert_eq!(to_bytes(&mut b).len(), 8 + 10_000);
+        assert_eq!(roundtrip(&mut b), b);
+    }
+
+    #[test]
+    fn empty_blob() {
+        let mut b = SyntheticBlob::new(0);
+        assert_eq!(packed_size(&mut b), 8);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn density_peaks_at_center() {
+        let c = [0.5, 0.5, 0.5];
+        let at_center = gaussian_density(c, c, 0.2, 1.0, 9.0);
+        let far = gaussian_density([0.0, 0.0, 0.0], c, 0.2, 1.0, 9.0);
+        assert!((at_center - 10.0).abs() < 1e-9);
+        assert!(far < at_center);
+        assert!(far >= 1.0);
+    }
+
+    #[test]
+    fn oct_roundtrip() {
+        for d in 1..=4u8 {
+            let side = 1u32 << d;
+            for x in (0..side).step_by(3) {
+                for y in (0..side).step_by(2) {
+                    for z in 0..side.min(4) {
+                        assert_eq!(oct_coords(oct_bits([x, y, z], d), d), [x, y, z]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn density_is_periodic() {
+        let c = [0.0, 0.5, 0.5];
+        let a = gaussian_density([0.95, 0.5, 0.5], c, 0.2, 1.0, 5.0);
+        let b = gaussian_density([0.05, 0.5, 0.5], c, 0.2, 1.0, 5.0);
+        assert!((a - b).abs() < 1e-9, "wraparound symmetric");
+    }
+}

@@ -1,0 +1,137 @@
+//! AMR3D structural invariants across randomized configurations: the leaf
+//! set tiles the domain exactly, face-adjacent leaves stay within one depth
+//! level (2:1 balance), the block population only grows (monotone
+//! refinement), and every run is replayable.
+
+use charm_apps::amr3d::{run_with_runtime, AmrConfig};
+use charm_core::{Ix, MachineConfig};
+use proptest::prelude::*;
+
+fn depth_of(ix: &Ix) -> u8 {
+    match ix {
+        Ix::Bits { len, .. } => len / 3,
+        other => panic!("not a block index: {other}"),
+    }
+}
+
+fn region(ix: &Ix, max_depth: u8) -> ([u64; 3], u64) {
+    let Ix::Bits { bits, len } = ix else {
+        panic!("bad index");
+    };
+    let d = len / 3;
+    let c = charm_apps::util::oct_coords(*bits, d);
+    let scale = 1u64 << (max_depth - d);
+    (
+        [
+            c[0] as u64 * scale,
+            c[1] as u64 * scale,
+            c[2] as u64 * scale,
+        ],
+        scale,
+    )
+}
+
+fn face_adjacent(a: &Ix, b: &Ix, max_depth: u8) -> bool {
+    let (alo, asz) = region(a, max_depth);
+    let (blo, bsz) = region(b, max_depth);
+    for axis in 0..3 {
+        let touch = alo[axis] + asz == blo[axis] || blo[axis] + bsz == alo[axis];
+        if !touch {
+            continue;
+        }
+        let mut overlap = true;
+        for t in 0..3 {
+            if t == axis {
+                continue;
+            }
+            let lo = alo[t].max(blo[t]);
+            let hi = (alo[t] + asz).min(blo[t] + bsz);
+            if lo >= hi {
+                overlap = false;
+                break;
+            }
+        }
+        if overlap {
+            return true;
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn amr_structure_invariants(
+        pes in 2usize..9,
+        steps in 5u64..9,
+        regrid_every in 2u64..4,
+        front in 0.1f64..0.9,
+        moving in proptest::bool::ANY,
+    ) {
+        let max_depth = 4u8;
+        let (_run, nblocks, rt) = run_with_runtime(AmrConfig {
+            machine: MachineConfig::homogeneous(pes),
+            min_depth: 2,
+            max_depth,
+            block_side: 4,
+            steps,
+            regrid_every,
+            front_start: front,
+            front_speed: if moving { 0.08 } else { 0.0 },
+            ..AmrConfig::default()
+        });
+        let blocks_id = rt.array_id("amr_blocks").expect("array exists");
+        let all = rt.array_indices(blocks_id);
+        prop_assert_eq!(all.len(), nblocks);
+
+        // (1) exact tiling: volumes sum to the domain volume.
+        let domain = 1u64 << max_depth;
+        let vol: u64 = all
+            .iter()
+            .map(|ix| {
+                let (_, sz) = region(ix, max_depth);
+                sz * sz * sz
+            })
+            .sum();
+        prop_assert_eq!(vol, domain.pow(3), "leaves must tile the domain");
+
+        // (2) no overlapping regions: tiling + count of distinct indices is
+        // sufficient given (1) and disjoint tree paths, but check depths too.
+        for ix in &all {
+            prop_assert!(depth_of(ix) >= 2 && depth_of(ix) <= max_depth);
+        }
+
+        // (3) 2:1 face balance.
+        for a in &all {
+            for b in &all {
+                if a < b && face_adjacent(a, b, max_depth) {
+                    let (da, db) = (depth_of(a), depth_of(b));
+                    prop_assert!(
+                        da.abs_diff(db) <= 1,
+                        "2:1 violated: {} (d{}) vs {} (d{})", a, da, b, db
+                    );
+                }
+            }
+        }
+
+        // (4) monotone growth of the block-count journal.
+        let counts: Vec<f64> = rt.metric("amr_blocks").iter().map(|&(_, v)| v).collect();
+        prop_assert!(counts.windows(2).all(|w| w[1] >= w[0]), "{:?}", counts);
+
+        // (5) replayability.
+        let (run2, nblocks2, _) = run_with_runtime(AmrConfig {
+            machine: MachineConfig::homogeneous(pes),
+            min_depth: 2,
+            max_depth,
+            block_side: 4,
+            steps,
+            regrid_every,
+            front_start: front,
+            front_speed: if moving { 0.08 } else { 0.0 },
+            ..AmrConfig::default()
+        });
+        prop_assert_eq!(nblocks2, nblocks);
+        prop_assert_eq!(run2.step_times.len() as u64, steps);
+    }
+}

@@ -1,0 +1,259 @@
+//! Criterion microbenchmarks for the runtime's hot paths and the
+//! DESIGN.md ablations: scheduler throughput, PUP serialization, TRAM
+//! flush-threshold sweep, LB strategy decision cost, parallel sorting,
+//! and the event-queue primitive.
+
+use charm_core::lbframework::synthetic_stats;
+use charm_core::{Chare, Ctx, Ix, Runtime, Strategy};
+use charm_machine::{EventQueue, SimTime};
+use charm_pup::{Pup, Puper};
+use charm_sort::{hist_sort, mpi_multiway, skewed_keys};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Ring {
+    hops_left: u64,
+    n: i64,
+}
+impl Pup for Ring {
+    fn pup(&mut self, p: &mut Puper) {
+        p.p(&mut self.hops_left);
+        p.p(&mut self.n);
+    }
+}
+impl Chare for Ring {
+    type Msg = u64;
+    fn on_message(&mut self, hops: u64, ctx: &mut Ctx<'_>) {
+        if hops == 0 {
+            ctx.exit();
+            return;
+        }
+        let me = charm_core::ArrayProxy::<Ring>::from_id(ctx.my_id().array);
+        let next = (self.n + 1) % 64;
+        ctx.send(me, Ix::i1(next), hops - 1);
+    }
+}
+
+/// End-to-end scheduler throughput: how many simulated message deliveries
+/// per real second the DES core sustains.
+fn bench_scheduler(c: &mut Criterion) {
+    c.bench_function("scheduler/ring_10k_msgs", |b| {
+        b.iter(|| {
+            let mut rt = Runtime::homogeneous(8);
+            let arr = rt.create_array::<Ring>("ring");
+            for i in 0..64 {
+                rt.insert(arr, Ix::i1(i), Ring { hops_left: 0, n: i }, None);
+            }
+            rt.send(arr, Ix::i1(0), 10_000u64);
+            black_box(rt.run().entries)
+        })
+    });
+}
+
+// ---------------------------------------------------------------------------
+
+#[derive(Default, Clone)]
+struct Particle {
+    pos: [f64; 3],
+    vel: [f64; 3],
+    id: u64,
+}
+impl Pup for Particle {
+    fn pup(&mut self, p: &mut Puper) {
+        charm_pup::pup_array(p, &mut self.pos);
+        charm_pup::pup_array(p, &mut self.vel);
+        p.p(&mut self.id);
+    }
+}
+
+fn bench_pup(c: &mut Criterion) {
+    let mut particles: Vec<Particle> = (0..1000)
+        .map(|i| Particle {
+            pos: [i as f64, 2.0, 3.0],
+            vel: [0.1, 0.2, 0.3],
+            id: i,
+        })
+        .collect();
+    let bytes = charm_pup::to_bytes(&mut particles);
+    let mut g = c.benchmark_group("pup");
+    g.throughput(criterion::Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("pack_1k_particles", |b| {
+        b.iter(|| black_box(charm_pup::to_bytes(black_box(&mut particles))))
+    });
+    g.bench_function("unpack_1k_particles", |b| {
+        b.iter(|| black_box(charm_pup::from_bytes::<Vec<Particle>>(black_box(&bytes))))
+    });
+    g.finish();
+}
+
+// ---------------------------------------------------------------------------
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_nanos(i * 7919 % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            black_box(sum)
+        })
+    });
+}
+
+// ---------------------------------------------------------------------------
+
+/// Ablation: LB strategy decision cost on identical stats.
+fn bench_lb_strategies(c: &mut Criterion) {
+    let loads: Vec<f64> = (0..4096)
+        .map(|i| ((i * 2654435761usize) % 1000) as f64 / 100.0 + 0.1)
+        .collect();
+    let stats = synthetic_stats(256, &loads);
+    let mut g = c.benchmark_group("lb_assign_4096objs_256pes");
+    let strategies: Vec<(&str, Box<dyn Strategy>)> = vec![
+        ("greedy", Box::new(charm_lb::GreedyLb)),
+        ("refine", Box::new(charm_lb::RefineLb::default())),
+        ("hybrid", Box::new(charm_lb::HybridLb::default())),
+        ("distributed", Box::new(charm_lb::DistributedLb::default())),
+        ("orb", Box::new(charm_lb::OrbLb)),
+    ];
+    for (name, mut s) in strategies {
+        g.bench_function(name, |b| b.iter(|| black_box(s.assign(black_box(&stats)))));
+    }
+    g.finish();
+}
+
+// ---------------------------------------------------------------------------
+
+/// Ablation: TRAM flush-threshold sweep — end-to-end PHOLD event rate.
+fn bench_tram_threshold(c: &mut Criterion) {
+    use charm_apps::pdes::{run, PdesConfig};
+    use charm_tram::TramConfig;
+    let mut g = c.benchmark_group("tram_threshold_phold");
+    g.sample_size(10);
+    for &threshold in &[8usize, 64, 256] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &threshold,
+            |b, &th| {
+                b.iter(|| {
+                    let r = run(PdesConfig {
+                        machine: charm_core::MachineConfig::homogeneous(16),
+                        lps_per_pe: 32,
+                        initial_events_per_lp: 48,
+                        windows: 8,
+                        tram: Some(TramConfig {
+                            ndims: 2,
+                            flush_threshold: th,
+                            flush_interval: Some(SimTime::from_micros(30)),
+                        }),
+                        ..PdesConfig::default()
+                    });
+                    black_box(r.events_executed)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+// ---------------------------------------------------------------------------
+
+fn bench_sorting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sort_64k_keys_16pes");
+    g.sample_size(10);
+    g.bench_function("charm_histsort", |b| {
+        b.iter(|| {
+            let mut rt = Runtime::homogeneous(16);
+            let keys = skewed_keys(16, 4096, 3);
+            black_box(hist_sort(&mut rt, keys, 0.05).time)
+        })
+    });
+    g.bench_function("mpi_multiway", |b| {
+        b.iter(|| {
+            let m = charm_core::MachineConfig::homogeneous(16);
+            let keys = skewed_keys(16, 4096, 3);
+            black_box(mpi_multiway(&m, keys).time)
+        })
+    });
+    g.finish();
+}
+
+// ---------------------------------------------------------------------------
+
+/// Ablations on the runtime itself: location caching and collective arity.
+/// These report the *virtual* time of a fixed workload under each setting
+/// (criterion's wall time additionally tracks simulator overhead).
+#[derive(Default)]
+struct Bouncer {
+    peer: i64,
+    remaining: u64,
+}
+impl Pup for Bouncer {
+    fn pup(&mut self, p: &mut Puper) {
+        p.p(&mut self.peer);
+        p.p(&mut self.remaining);
+    }
+}
+impl Chare for Bouncer {
+    type Msg = u8;
+    fn on_message(&mut self, _m: u8, ctx: &mut Ctx<'_>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            let me = charm_core::ArrayProxy::<Bouncer>::from_id(ctx.my_id().array);
+            ctx.send(me, Ix::i1(self.peer), 0u8);
+        }
+    }
+}
+
+fn bench_runtime_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_ablation");
+    g.sample_size(20);
+    for (name, cache, arity) in [
+        ("cache_on_arity2", true, 2u64),
+        ("cache_off_arity2", false, 2),
+        ("cache_on_arity8", true, 8),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut rt = Runtime::builder(charm_core::MachineConfig::homogeneous(8))
+                    .location_cache(cache)
+                    .collective_arity(arity)
+                    .build();
+                let arr = rt.create_array::<Bouncer>("bounce");
+                for i in 0..2i64 {
+                    rt.insert(
+                        arr,
+                        Ix::i1(i),
+                        Bouncer {
+                            peer: i ^ 1,
+                            remaining: 500,
+                        },
+                        Some(i as usize),
+                    );
+                }
+                rt.send(arr, Ix::i1(0), 0u8);
+                black_box(rt.run().end_time)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scheduler,
+    bench_pup,
+    bench_event_queue,
+    bench_lb_strategies,
+    bench_tram_threshold,
+    bench_sorting,
+    bench_runtime_ablations
+);
+criterion_main!(benches);

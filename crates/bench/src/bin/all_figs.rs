@@ -1,0 +1,46 @@
+//! Run every figure-regeneration binary in sequence (each also writes its
+//! CSV under `results/`). Set `CHARM_FIG_SCALE=full` for larger PE counts.
+
+use std::process::Command;
+
+fn main() {
+    let figs = [
+        "fig04_dvfs",
+        "fig05_shrink_expand",
+        "fig06_control_points",
+        "fig07_interop_sort",
+        "fig08_amr",
+        "fig09_leanmd_scale",
+        "fig10_leanmd_ckpt",
+        "fig11_namd",
+        "fig12_barneshut",
+        "fig13_changa",
+        "fig14_lulesh",
+        "fig15_pdes",
+        "fig16_cloud_stencil",
+        "fig17_cloud_leanmd",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("self path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let mut failed = Vec::new();
+    for f in figs {
+        eprintln!("--- running {f} ---");
+        let status = Command::new(exe_dir.join(f)).status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("!!! {f} failed: {other:?}");
+                failed.push(f);
+            }
+        }
+    }
+    if failed.is_empty() {
+        eprintln!("all figures regenerated; CSVs in results/");
+    } else {
+        eprintln!("failed figures: {failed:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Fig. 5 — malleability: LeanMD iteration times across a shrink
+//! (P→P/2) and a later expand (P/2→P), with reconfiguration spikes.
+//!
+//! Expected shape: iteration time roughly doubles while shrunk and
+//! recovers after the expand; each transition costs a one-time spike
+//! dominated by the modeled process restart/reconnect (paper: 2.7 s
+//! shrink, 7.2 s expand on Stampede).
+
+use charm_apps::leanmd::{run_with_runtime, LeanMdConfig};
+use charm_bench::{fmt_s, Figure, Scale};
+use charm_core::SimTime;
+use charm_machine::presets;
+
+fn main() {
+    let scale = Scale::from_env();
+    let pes = scale.pick(64, 256);
+    let steps = scale.pick(320u64, 400);
+    let cells = scale.pick(8, 16);
+    let atoms = 160;
+
+    // Probe a few steps to estimate the iteration time, then schedule the
+    // commands (as the paper does through CCS, at chosen wall-clock times).
+    let probe = run_with_runtime(LeanMdConfig {
+        machine: presets::stampede(pes),
+        cells_per_dim: cells,
+        atoms_per_cell: atoms,
+        density_peak: 1.0,
+        steps: 12,
+        ..LeanMdConfig::default()
+    });
+    let step_s = probe.0.avg_step_s();
+    let shrink_at = SimTime::from_secs_f64(step_s * steps as f64 * 0.2);
+    // While shrunk, iterations take ~2×; leave ~30 % of the steps for the
+    // shrunk epoch, then expand (shrink itself blocks ~2 s).
+    let expand_at = SimTime::from_secs_f64(
+        shrink_at.as_secs_f64() + 2.2 + 2.0 * step_s * steps as f64 * 0.3,
+    );
+
+    let (run, rt) = run_with_runtime(LeanMdConfig {
+        machine: presets::stampede(pes),
+        cells_per_dim: cells,
+        atoms_per_cell: atoms,
+        density_peak: 1.0,
+        steps,
+        lb_every: 20, // periodic AtSync keeps the run balanced throughout
+        strategy: Some(Box::new(charm_lb::GreedyLb)),
+        reconfigure: vec![(shrink_at, pes / 2), (expand_at, pes)],
+        ..LeanMdConfig::default()
+    });
+
+    // Actual reconfiguration timestamps from the journal.
+    let reconf = rt.metric("reconfigure");
+    let costs = rt.metric("reconfigure_cost_s");
+    let shrink_t = reconf.first().map(|&(t, _)| t).unwrap_or(f64::MAX);
+    let expand_t = reconf.get(1).map(|&(t, _)| t).unwrap_or(f64::MAX);
+
+    let mut fig = Figure::new(
+        "fig05",
+        "LeanMD shrink/expand timeline (iteration time vs iteration)",
+        &["iter", "iter_time", "epoch"],
+    );
+    let durs = run.step_durations();
+    for (i, (&t_end, &dt)) in run.step_times.iter().zip(durs.iter()).enumerate() {
+        let epoch = if t_end < shrink_t {
+            format!("{pes}pe")
+        } else if t_end < expand_t {
+            format!("{}pe", pes / 2)
+        } else {
+            format!("{pes}pe(expanded)")
+        };
+        fig.row(vec![i.to_string(), fmt_s(dt), epoch]);
+    }
+    for (i, &(at, c)) in costs.iter().enumerate() {
+        let kind = if i == 0 { "shrink" } else { "expand" };
+        fig.note(format!(
+            "{kind} at t={at:.2}s cost={c:.2}s (paper: shrink 2.7s, expand 7.2s)"
+        ));
+    }
+    let mean_in = |lo: f64, hi: f64| {
+        let xs: Vec<f64> = run
+            .step_times
+            .iter()
+            .zip(durs.iter())
+            .filter(|(&t, &d)| t >= lo && t < hi && d < step_s * 20.0) // skip spikes
+            .map(|(_, &d)| d)
+            .collect();
+        xs.iter().sum::<f64>() / xs.len().max(1) as f64
+    };
+    // Skip the warm-up window before the first AtSync round equalizes the
+    // static placement.
+    let before = mean_in(shrink_t * 0.5, shrink_t);
+    let shrunk = mean_in(shrink_t + 2.5, expand_t);
+    // The expand blocks ~6.5 s; measure from resumption.
+    let after = mean_in(expand_t + 6.6, f64::MAX);
+    fig.note(format!(
+        "mean iter: before={} shrunk={} ({:.2}x, paper ~2x) after-expand={} ({:.2}x of before)",
+        fmt_s(before),
+        fmt_s(shrunk),
+        shrunk / before.max(1e-12),
+        fmt_s(after),
+        after / before.max(1e-12),
+    ));
+    fig.emit();
+}

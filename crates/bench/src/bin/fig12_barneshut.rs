@@ -1,0 +1,62 @@
+//! Fig. 12 — Barnes-Hut strong scaling on Blue Waters: the full
+//! configuration (over-decomposition + ORB LB) vs LB disabled (500m_LB
+//! missing) vs one piece per PE (500m_NO).
+//!
+//! Expected shape: over-decomposition + LB scales best (paper: ~40 % better
+//! than one-object-per-PE); disabling LB or over-decomposition each costs a
+//! growing penalty at scale.
+
+use charm_apps::barneshut::{run, BarnesHutConfig};
+use charm_bench::{fmt_s, Figure, Scale};
+use charm_machine::presets;
+
+fn main() {
+    let scale = Scale::from_env();
+    // PE counts are powers of 8 fractions so the no-overdecomp variant can
+    // put exactly one piece per PE.
+    let pe_list: Vec<usize> = scale.pick(vec![64, 512], vec![512, 4096]);
+    let full_depth = scale.pick(4u8, 5); // 8^4 = 4096 pieces at demo scale
+    let total_particles = scale.pick(120_000u64, 4_000_000);
+
+    let tail = |r: &charm_apps::AppRun| {
+        let d = r.step_durations();
+        d[d.len() - 3..].iter().sum::<f64>() / 3.0
+    };
+
+    let mut fig = Figure::new(
+        "fig12",
+        "Barnes-Hut time/step: overdecomp+ORB (500m) vs no LB (500m_LB-off) vs 1 piece/PE (500m_NO)",
+        &["pes", "full", "no_lb", "no_overdecomp"],
+    );
+    for &p in &pe_list {
+        let pieces_full = 8usize.pow(full_depth as u32);
+        let ppp_full = (total_particles as usize / pieces_full).max(1);
+        let mk = |depth: u8, lb: bool| {
+            let pieces = 8usize.pow(depth as u32);
+            BarnesHutConfig {
+                machine: presets::xe6(p),
+                depth,
+                particles_per_piece: (total_particles as usize / pieces).max(1),
+                clustering: 8.0,
+                steps: 8,
+                lb_every: if lb { 3 } else { 0 },
+                strategy: lb.then(|| Box::new(charm_lb::OrbLb) as _),
+                ..BarnesHutConfig::default()
+            }
+        };
+        let _ = ppp_full;
+        // no-overdecomp depth: 8^d == p
+        let no_depth = (p as f64).log(8.0).round() as u8;
+        let full = tail(&run(mk(full_depth, true)));
+        let no_lb = tail(&run(mk(full_depth, false)));
+        let no_od = tail(&run(mk(no_depth, true)));
+        fig.row(vec![
+            p.to_string(),
+            fmt_s(full),
+            fmt_s(no_lb),
+            fmt_s(no_od),
+        ]);
+    }
+    fig.note("paper: full config ~40% faster than one piece per PE; LB matters under clustering");
+    fig.emit();
+}

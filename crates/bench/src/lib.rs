@@ -1,0 +1,201 @@
+//! # charm-bench — figure regeneration and microbenchmarks
+//!
+//! One binary per data figure of the paper (`src/bin/figNN_*.rs`); each
+//! prints the figure's series as an aligned table and writes
+//! `results/figNN.csv`. `all_figs` runs everything. Criterion
+//! microbenchmarks (scheduler, PUP, TRAM, sorting, LB strategies) live in
+//! `benches/`.
+//!
+//! Scale: by default each figure runs at a *demo scale* chosen so the whole
+//! suite completes in minutes on a laptop while preserving the figure's
+//! shape (who wins, by what factor, where crossovers fall). Set
+//! `CHARM_FIG_SCALE=full` for PE counts closer to the paper's (slow).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Demo vs. full experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Fast, laptop-friendly parameters (default).
+    Demo,
+    /// PE counts closer to the paper's (minutes to hours).
+    Full,
+}
+
+impl Scale {
+    /// Read from `CHARM_FIG_SCALE` (`full` → Full).
+    pub fn from_env() -> Scale {
+        match std::env::var("CHARM_FIG_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") => Scale::Full,
+            _ => Scale::Demo,
+        }
+    }
+
+    /// Choose one of two values by scale.
+    pub fn pick<T>(self, demo: T, full: T) -> T {
+        match self {
+            Scale::Demo => demo,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// A tabular figure result: column headers plus rows, printed aligned and
+/// saved as CSV.
+pub struct Figure {
+    /// e.g. "fig09".
+    pub id: &'static str,
+    /// Short description printed above the table.
+    pub title: &'static str,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (stringified).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table (paper comparison).
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// Start a figure table.
+    pub fn new(id: &'static str, title: &'static str, columns: &[&str]) -> Figure {
+        Figure {
+            id,
+            title,
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a data row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render the aligned table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {}", self.id, self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "  {}", header.join("  "));
+        for r in &self.rows {
+            let line: Vec<String> = r
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "  {}", line.join("  "));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  # {n}");
+        }
+        out
+    }
+
+    /// Write `results/<id>.csv` (relative to the workspace root when run
+    /// via cargo, else the current directory).
+    pub fn save_csv(&self) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut csv = String::new();
+        let _ = writeln!(csv, "{}", self.columns.join(","));
+        for r in &self.rows {
+            let _ = writeln!(csv, "{}", r.join(","));
+        }
+        for n in &self.notes {
+            let _ = writeln!(csv, "# {n}");
+        }
+        std::fs::write(&path, csv)?;
+        Ok(path)
+    }
+
+    /// Print and save.
+    pub fn emit(&self) {
+        print!("{}", self.render());
+        match self.save_csv() {
+            Ok(p) => println!("  -> {}\n", p.display()),
+            Err(e) => println!("  (csv not written: {e})\n"),
+        }
+    }
+}
+
+fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench → ../../results
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(m) => PathBuf::from(m).join("../../results"),
+        Err(_) => PathBuf::from("results"),
+    }
+}
+
+/// Format seconds with an adaptive unit.
+pub fn fmt_s(v: f64) -> String {
+    if v >= 1.0 {
+        format!("{v:.3}s")
+    } else if v >= 1e-3 {
+        format!("{:.3}ms", v * 1e3)
+    } else {
+        format!("{:.1}us", v * 1e6)
+    }
+}
+
+/// Format a dimensionless ratio.
+pub fn fmt_x(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut f = Figure::new("figXX", "test", &["pes", "time"]);
+        f.row(vec!["8".into(), "1.25ms".into()]);
+        f.row(vec!["1024".into(), "0.3ms".into()]);
+        f.note("shape matches");
+        let r = f.render();
+        assert!(r.contains("figXX"));
+        assert!(r.contains("# shape matches"));
+        assert_eq!(r.lines().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut f = Figure::new("figXX", "test", &["a", "b"]);
+        f.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn scale_picks() {
+        assert_eq!(Scale::Demo.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(fmt_s(2.5), "2.500s");
+        assert_eq!(fmt_s(0.0025), "2.500ms");
+        assert_eq!(fmt_s(2.5e-6), "2.5us");
+        assert_eq!(fmt_x(2.4), "2.40x");
+    }
+}

@@ -1,0 +1,429 @@
+//! Chare arrays: typed element storage, proxies, and the object-safe
+//! interface the runtime drives them through.
+
+use crate::chare::{Chare, SysEvent};
+use crate::index::Ix;
+use crate::Ctx;
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Identifier of a chare array within a runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub u32);
+
+/// Global identity of one chare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObjId {
+    /// The array the chare belongs to.
+    pub array: ArrayId,
+    /// The chare's index within the array.
+    pub ix: Ix,
+}
+
+/// A typed, copyable handle to a chare array — the equivalent of a Charm++
+/// proxy. All sends go through a proxy plus the [`Ctx`](crate::Ctx) (inside
+/// entry methods) or the [`Runtime`](crate::Runtime) (from the host program).
+pub struct ArrayProxy<C: Chare> {
+    pub(crate) id: ArrayId,
+    _pd: std::marker::PhantomData<fn() -> C>,
+}
+
+impl<C: Chare> ArrayProxy<C> {
+    pub(crate) fn new(id: ArrayId) -> Self {
+        ArrayProxy {
+            id,
+            _pd: std::marker::PhantomData,
+        }
+    }
+
+    /// Rebuild a typed proxy from a raw [`ArrayId`] (e.g. one stored in a
+    /// chare's pup'd state). A type mismatch is caught — with a clear panic —
+    /// at message delivery, exactly like sending through a mistyped Charm++
+    /// proxy.
+    pub fn from_id(id: ArrayId) -> Self {
+        Self::new(id)
+    }
+
+    /// The untyped array id.
+    pub fn id(&self) -> ArrayId {
+        self.id
+    }
+
+    /// Identity of element `ix` of this array.
+    pub fn elem(&self, ix: Ix) -> ObjId {
+        ObjId {
+            array: self.id,
+            ix,
+        }
+    }
+}
+
+impl<C: Chare> Clone for ArrayProxy<C> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<C: Chare> Copy for ArrayProxy<C> {}
+
+impl charm_pup::Pup for ArrayId {
+    fn pup(&mut self, p: &mut charm_pup::Puper) {
+        p.p(&mut self.0);
+    }
+}
+
+/// Proxies are plain handles; chares may keep them in pup'd state.
+impl<C: Chare> charm_pup::Pup for ArrayProxy<C> {
+    fn pup(&mut self, p: &mut charm_pup::Puper) {
+        p.p(&mut self.id);
+    }
+}
+
+impl<C: Chare> Default for ArrayProxy<C> {
+    fn default() -> Self {
+        Self::new(ArrayId(u32::MAX))
+    }
+}
+
+/// A message or event on its way to a chare.
+pub enum Payload {
+    /// A user message (a boxed `C::Msg` for the destination array's type).
+    User(Box<dyn Any>),
+    /// A runtime event.
+    Sys(SysEvent),
+}
+
+impl Payload {
+    /// Short description for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Payload::User(_) => "user",
+            Payload::Sys(_) => "sys",
+        }
+    }
+}
+
+/// Per-element bookkeeping the runtime and the LB framework need.
+struct Element<C> {
+    chare: C,
+    pe: usize,
+    /// Work-seconds accumulated since the last LB stats collection.
+    load: f64,
+    /// Bumped on every migration; stale location caches are detected by
+    /// comparing epochs.
+    epoch: u32,
+}
+
+/// Object-safe view of a typed array store; the runtime holds
+/// `Box<dyn AnyArray>` and dispatches through this.
+pub(crate) trait AnyArray {
+    fn id(&self) -> ArrayId;
+    fn name(&self) -> &str;
+    fn len(&self) -> usize;
+    #[allow(dead_code)] // part of the store interface; used by tests/tools
+    fn contains(&self, ix: &Ix) -> bool;
+    fn element_pe(&self, ix: &Ix) -> Option<usize>;
+    fn element_epoch(&self, ix: &Ix) -> Option<u32>;
+    #[allow(dead_code)] // part of the store interface; used by tests/tools
+    fn set_element_pe(&mut self, ix: &Ix, pe: usize);
+    fn indices(&self) -> Vec<Ix>;
+    fn indices_on_pe(&self, pe: usize) -> Vec<Ix>;
+    /// Run the entry method / event handler for one delivered payload.
+    /// Returns false if the element does not exist (message buffered or
+    /// dropped by the caller's policy).
+    fn execute(&mut self, ix: &Ix, payload: Payload, ctx: &mut Ctx<'_>) -> bool;
+    /// Serialize an element (for migration / checkpoints).
+    fn pack_element(&mut self, ix: &Ix) -> Option<Vec<u8>>;
+    /// Deserialize and (re-)insert an element at `pe`.
+    fn unpack_insert(&mut self, ix: Ix, pe: usize, bytes: &[u8]);
+    fn remove_element(&mut self, ix: &Ix) -> bool;
+    /// Insert a type-erased chare (from `Ctx::insert` buffering).
+    fn insert_boxed(&mut self, ix: Ix, pe: usize, chare: Box<dyn Any>);
+    fn add_load(&mut self, ix: &Ix, load: f64);
+    /// Snapshot (index, pe, measured load, hint) for all elements and reset
+    /// the measured loads — called at LB time.
+    fn drain_loads(&mut self) -> Vec<(Ix, usize, f64, f64)>;
+    /// Is this array participating in AtSync load balancing?
+    fn uses_at_sync(&self) -> bool;
+    fn set_uses_at_sync(&mut self, v: bool);
+    /// Remove every element (used by failure rollback before restoring the
+    /// checkpointed population).
+    fn clear(&mut self);
+    /// Downcast support for typed host-side inspection.
+    fn as_any(&self) -> &dyn Any;
+    #[allow(dead_code)] // mutable counterpart of as_any, for tooling
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Typed storage for all elements of one chare array.
+pub(crate) struct ArrayStore<C: Chare> {
+    id: ArrayId,
+    name: String,
+    elements: HashMap<Ix, Element<C>>,
+    at_sync: bool,
+}
+
+impl<C: Chare> ArrayStore<C> {
+    /// Host-side read access to one element's chare state.
+    pub(crate) fn peek(&self, ix: &Ix) -> Option<&C> {
+        self.elements.get(ix).map(|e| &e.chare)
+    }
+
+    pub(crate) fn new(id: ArrayId, name: &str) -> Self {
+        ArrayStore {
+            id,
+            name: name.to_string(),
+            elements: HashMap::new(),
+            at_sync: false,
+        }
+    }
+
+    pub(crate) fn insert(&mut self, ix: Ix, pe: usize, chare: C) {
+        let prev = self.elements.insert(
+            ix,
+            Element {
+                chare,
+                pe,
+                load: 0.0,
+                epoch: 0,
+            },
+        );
+        assert!(prev.is_none(), "duplicate insertion of element {ix}");
+    }
+}
+
+impl<C: Chare> AnyArray for ArrayStore<C> {
+    fn id(&self) -> ArrayId {
+        self.id
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    fn contains(&self, ix: &Ix) -> bool {
+        self.elements.contains_key(ix)
+    }
+
+    fn element_pe(&self, ix: &Ix) -> Option<usize> {
+        self.elements.get(ix).map(|e| e.pe)
+    }
+
+    fn element_epoch(&self, ix: &Ix) -> Option<u32> {
+        self.elements.get(ix).map(|e| e.epoch)
+    }
+
+    fn set_element_pe(&mut self, ix: &Ix, pe: usize) {
+        let e = self
+            .elements
+            .get_mut(ix)
+            .unwrap_or_else(|| panic!("set_element_pe: no element {ix}"));
+        if e.pe != pe {
+            e.pe = pe;
+            e.epoch += 1;
+        }
+    }
+
+    fn indices(&self) -> Vec<Ix> {
+        let mut v: Vec<Ix> = self.elements.keys().copied().collect();
+        // Deterministic order regardless of hash-map iteration.
+        v.sort_unstable();
+        v
+    }
+
+    fn indices_on_pe(&self, pe: usize) -> Vec<Ix> {
+        let mut v: Vec<Ix> = self
+            .elements
+            .iter()
+            .filter(|(_, e)| e.pe == pe)
+            .map(|(ix, _)| *ix)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn execute(&mut self, ix: &Ix, payload: Payload, ctx: &mut Ctx<'_>) -> bool {
+        let Some(e) = self.elements.get_mut(ix) else {
+            return false;
+        };
+        match payload {
+            Payload::User(boxed) => {
+                let msg = *boxed.downcast::<C::Msg>().unwrap_or_else(|_| {
+                    panic!(
+                        "array '{}' element {ix}: message type mismatch (expected {})",
+                        self.name,
+                        std::any::type_name::<C::Msg>()
+                    )
+                });
+                e.chare.on_message(msg, ctx);
+            }
+            Payload::Sys(ev) => e.chare.on_event(ev, ctx),
+        }
+        true
+    }
+
+    fn pack_element(&mut self, ix: &Ix) -> Option<Vec<u8>> {
+        self.elements
+            .get_mut(ix)
+            .map(|e| charm_pup::to_bytes(&mut e.chare))
+    }
+
+    fn unpack_insert(&mut self, ix: Ix, pe: usize, bytes: &[u8]) {
+        let chare: C = charm_pup::from_bytes(bytes);
+        let epoch = self
+            .elements
+            .get(&ix)
+            .map(|e| e.epoch + 1)
+            .unwrap_or_default();
+        self.elements.insert(
+            ix,
+            Element {
+                chare,
+                pe,
+                load: 0.0,
+                epoch,
+            },
+        );
+    }
+
+    fn remove_element(&mut self, ix: &Ix) -> bool {
+        self.elements.remove(ix).is_some()
+    }
+
+    fn insert_boxed(&mut self, ix: Ix, pe: usize, chare: Box<dyn Any>) {
+        let chare = *chare.downcast::<C>().unwrap_or_else(|_| {
+            panic!(
+                "array '{}': insert of wrong chare type (expected {})",
+                self.name,
+                std::any::type_name::<C>()
+            )
+        });
+        self.insert(ix, pe, chare);
+    }
+
+    fn add_load(&mut self, ix: &Ix, load: f64) {
+        if let Some(e) = self.elements.get_mut(ix) {
+            e.load += load;
+        }
+    }
+
+    fn drain_loads(&mut self) -> Vec<(Ix, usize, f64, f64)> {
+        let mut v: Vec<(Ix, usize, f64, f64)> = self
+            .elements
+            .iter_mut()
+            .map(|(ix, e)| {
+                let l = e.load;
+                e.load = 0.0;
+                (*ix, e.pe, l, e.chare.load_hint())
+            })
+            .collect();
+        v.sort_unstable_by_key(|a| a.0);
+        v
+    }
+
+    fn uses_at_sync(&self) -> bool {
+        self.at_sync
+    }
+
+    fn set_uses_at_sync(&mut self, v: bool) {
+        self.at_sync = v;
+    }
+
+    fn clear(&mut self) {
+        self.elements.clear();
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charm_pup::Puper;
+
+    #[derive(Default)]
+    struct Dummy {
+        v: i64,
+    }
+    impl charm_pup::Pup for Dummy {
+        fn pup(&mut self, p: &mut Puper) {
+            p.p(&mut self.v);
+        }
+    }
+    impl Chare for Dummy {
+        type Msg = i64;
+        fn on_message(&mut self, msg: i64, _ctx: &mut Ctx<'_>) {
+            self.v += msg;
+        }
+    }
+
+    #[test]
+    fn insert_pack_unpack_cycle() {
+        let mut s = ArrayStore::<Dummy>::new(ArrayId(0), "dummy");
+        s.insert(Ix::i1(3), 2, Dummy { v: 40 });
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.element_pe(&Ix::i1(3)), Some(2));
+        let bytes = s.pack_element(&Ix::i1(3)).unwrap();
+        assert!(s.remove_element(&Ix::i1(3)));
+        assert!(!s.contains(&Ix::i1(3)));
+        s.unpack_insert(Ix::i1(3), 5, &bytes);
+        assert_eq!(s.element_pe(&Ix::i1(3)), Some(5));
+    }
+
+    #[test]
+    fn epoch_bumps_on_pe_change() {
+        let mut s = ArrayStore::<Dummy>::new(ArrayId(0), "dummy");
+        s.insert(Ix::i1(0), 0, Dummy::default());
+        assert_eq!(s.element_epoch(&Ix::i1(0)), Some(0));
+        s.set_element_pe(&Ix::i1(0), 1);
+        assert_eq!(s.element_epoch(&Ix::i1(0)), Some(1));
+        // setting to the same PE is not a migration
+        s.set_element_pe(&Ix::i1(0), 1);
+        assert_eq!(s.element_epoch(&Ix::i1(0)), Some(1));
+    }
+
+    #[test]
+    fn drain_loads_resets() {
+        let mut s = ArrayStore::<Dummy>::new(ArrayId(0), "dummy");
+        s.insert(Ix::i1(0), 0, Dummy::default());
+        s.insert(Ix::i1(1), 1, Dummy::default());
+        s.add_load(&Ix::i1(0), 0.5);
+        s.add_load(&Ix::i1(0), 0.25);
+        let loads = s.drain_loads();
+        assert_eq!(loads.len(), 2);
+        assert_eq!(loads[0], (Ix::i1(0), 0, 0.75, 1.0));
+        assert_eq!(loads[1], (Ix::i1(1), 1, 0.0, 1.0));
+        let again = s.drain_loads();
+        assert_eq!(again[0].2, 0.0, "loads reset after drain");
+    }
+
+    #[test]
+    fn indices_sorted_and_per_pe() {
+        let mut s = ArrayStore::<Dummy>::new(ArrayId(0), "dummy");
+        for i in (0..10).rev() {
+            s.insert(Ix::i1(i), (i % 3) as usize, Dummy::default());
+        }
+        let all = s.indices();
+        assert_eq!(all.len(), 10);
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(s.indices_on_pe(0).len(), 4); // 0,3,6,9
+        assert_eq!(s.indices_on_pe(1).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate insertion")]
+    fn duplicate_insert_rejected() {
+        let mut s = ArrayStore::<Dummy>::new(ArrayId(0), "dummy");
+        s.insert(Ix::i1(0), 0, Dummy::default());
+        s.insert(Ix::i1(0), 0, Dummy::default());
+    }
+}

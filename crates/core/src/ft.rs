@@ -1,0 +1,405 @@
+//! Checkpoint/restart and fault tolerance (§III-B).
+//!
+//! Two mechanisms, both built on the PUP framework:
+//!
+//! * **Double in-memory checkpoint** (`CkStartMemCheckpoint`): every chare is
+//!   packed; the bytes are kept in the local PE's memory and mirrored on a
+//!   *buddy* PE. When an injected failure kills a PE, the whole application
+//!   rolls back: all chare state is restored from the checkpoint (the failed
+//!   PE's chares come from their buddy copies), message state is discarded,
+//!   and every chare receives [`SysEvent::Restarted`] to re-drive execution.
+//! * **Disk checkpoint** (`CkStartCheckpoint` + `+restart`): chare state is
+//!   written to real files and can be restored into a *new* runtime with a
+//!   *different* PE count — split execution, exactly as the paper describes.
+
+use crate::array::ObjId;
+use crate::chare::{Callback, SysEvent};
+use crate::runtime::{Ev, Runtime, ENVELOPE_BYTES};
+use charm_machine::SimTime;
+use std::collections::HashMap;
+
+use std::path::Path;
+
+/// Number of barrier phases in the restart protocol. The paper observes
+/// restart time *growing* with PE count "due to the effect of barriers";
+/// these are those barriers.
+const RESTART_BARRIERS: u64 = 6;
+
+/// An in-memory snapshot of the entire application.
+pub struct MemCheckpoint {
+    /// Packed state of every chare, keyed by identity.
+    pub(crate) bytes: HashMap<ObjId, Vec<u8>>,
+    /// PE each chare lived on at checkpoint time.
+    pub(crate) placement: HashMap<ObjId, usize>,
+    /// Virtual time the checkpoint was taken.
+    pub(crate) taken_at: SimTime,
+    /// Per-PE checkpoint volume (drives the buddy-transfer cost model).
+    pub(crate) per_pe_bytes: Vec<usize>,
+}
+
+impl MemCheckpoint {
+    /// Total bytes across all chares.
+    pub fn total_bytes(&self) -> usize {
+        self.bytes.values().map(|b| b.len()).sum()
+    }
+
+    /// Number of chares captured.
+    pub fn num_chares(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// When the checkpoint was taken.
+    pub fn taken_at(&self) -> SimTime {
+        self.taken_at
+    }
+}
+
+/// Buddy of a PE in the double in-memory scheme: the PE half the machine
+/// away, so a node failure never takes out both copies.
+pub(crate) fn buddy_pe(pe: usize, num_pes: usize) -> usize {
+    (pe + num_pes / 2) % num_pes
+}
+
+impl Runtime {
+    /// Take the double in-memory checkpoint now. Called from
+    /// [`Ctx::start_mem_checkpoint`](crate::Ctx::start_mem_checkpoint)
+    /// action application.
+    pub(crate) fn start_mem_checkpoint(&mut self, cb: Callback, at: SimTime) {
+        let mut bytes = HashMap::new();
+        let mut placement = HashMap::new();
+        let mut per_pe = vec![0usize; self.machine.num_pes];
+        for s in self.stores.iter_mut() {
+            let id = s.id();
+            for ix in s.indices() {
+                let pe = s.element_pe(&ix).expect("listed element");
+                let b = s.pack_element(&ix).expect("listed element");
+                per_pe[pe] += b.len();
+                let obj = ObjId { array: id, ix };
+                placement.insert(obj, pe);
+                bytes.insert(obj, b);
+            }
+        }
+
+        // Cost: each PE streams its checkpoint to its buddy concurrently
+        // (max over PEs), plus one barrier to agree the checkpoint is
+        // complete. Checkpoint time *decreases* with PE count because the
+        // per-PE volume shrinks (paper Fig. 8-right, Fig. 10).
+        let max_bytes = per_pe.iter().copied().max().unwrap_or(0);
+        let transfer = if self.live_pes > 1 {
+            self.net.delay(0, 1, max_bytes + ENVELOPE_BYTES)
+        } else {
+            SimTime::ZERO
+        };
+        let barrier = self.barrier_cost();
+        let total = transfer + barrier;
+
+        self.mem_ckpt = Some(MemCheckpoint {
+            bytes,
+            placement,
+            taken_at: at,
+            per_pe_bytes: per_pe,
+        });
+
+        let done = at + total;
+        self.block_all_pes(done);
+        self.metrics
+            .entry("ckpt_time_s".into())
+            .or_default()
+            .push((at.as_secs_f64(), total.as_secs_f64()));
+        self.deliver_callback(cb, SysEvent::CheckpointDone, done);
+    }
+
+    /// Cost of one spanning-tree barrier over the live PEs.
+    pub(crate) fn barrier_cost(&mut self) -> SimTime {
+        let depth = self.tree_depth();
+        let hop = self.net.delay(0, 1.min(self.live_pes - 1), ENVELOPE_BYTES);
+        SimTime(hop.0 * depth)
+    }
+
+    /// Block every live PE from starting new work until `until`, and make
+    /// sure idle PEs with queued work wake up then.
+    pub(crate) fn block_all_pes(&mut self, until: SimTime) {
+        for pe in 0..self.live_pes {
+            self.pes[pe].blocked_until = self.pes[pe].blocked_until.max(until);
+            self.events.push(until, Ev::PeRetry { pe });
+        }
+    }
+
+    /// Handle an injected node failure: roll the application back to the
+    /// last in-memory checkpoint (§III-B, [7]).
+    pub(crate) fn on_node_failure(&mut self, pe: usize) {
+        if pe >= self.pes.len() || !self.pes[pe].alive {
+            return;
+        }
+        let Some(ckpt) = self.mem_ckpt.take() else {
+            // No checkpoint: the process and everything on it is simply
+            // lost; messages to it vanish. (The paper always checkpoints
+            // before injecting failures.)
+            self.pes[pe].alive = false;
+            self.queued -= self.pes[pe].pending.len() as u64;
+            self.pes[pe].pending.clear();
+            if self.pes[pe].busy {
+                self.pes[pe].busy = false;
+                self.busy_pes -= 1;
+            }
+            self.metrics
+                .entry("unrecovered_failures".into())
+                .or_default()
+                .push((self.now.as_secs_f64(), pe as f64));
+            return;
+        };
+
+        // ---- rollback: discard all execution/message state -----------------
+        self.purge_volatile_events();
+        for p in self.pes.iter_mut() {
+            p.pending.clear();
+            p.busy = false;
+            p.current = None;
+            p.blocked_until = SimTime::ZERO;
+            p.alive = true; // the crashed process is replaced by a fresh one
+        }
+        self.queued = 0;
+        self.inflight = 0;
+        self.busy_pes = 0;
+        self.limbo.clear();
+        self.reductions.clear();
+        self.qd = None;
+        self.at_sync_seen = 0;
+        for c in self.loc_cache.iter_mut() {
+            c.clear();
+        }
+
+        // ---- restore chare state from the checkpoint ------------------------
+        for s in self.stores.iter_mut() {
+            s.clear();
+        }
+        for (obj, bytes) in &ckpt.bytes {
+            let pe = ckpt.placement[obj];
+            self.stores[obj.array.0 as usize].unpack_insert(obj.ix, pe, bytes);
+        }
+
+        // ---- cost model ------------------------------------------------------
+        // The buddy streams the dead PE's checkpoint to the replacement;
+        // every PE then restores locally; several barriers synchronize the
+        // protocol (this is the term that grows with P — Fig. 10 restart).
+        let failed_bytes = ckpt.per_pe_bytes.get(pe).copied().unwrap_or(0);
+        let resend = if self.live_pes > 1 {
+            self.net.delay(buddy_pe(pe, self.live_pes), pe, failed_bytes + ENVELOPE_BYTES)
+        } else {
+            SimTime::ZERO
+        };
+        let barriers = SimTime(self.barrier_cost().0 * RESTART_BARRIERS);
+        let total = resend + barriers;
+        let done = self.now + total;
+        self.block_all_pes(done);
+
+        self.metrics
+            .entry("restart_time_s".into())
+            .or_default()
+            .push((self.now.as_secs_f64(), total.as_secs_f64()));
+        self.metrics
+            .entry("failures_recovered".into())
+            .or_default()
+            .push((self.now.as_secs_f64(), pe as f64));
+
+        // Keep the checkpoint for further failures.
+        self.mem_ckpt = Some(ckpt);
+
+        // Tell everyone to resume from checkpointed state.
+        let arrays: Vec<_> = self.stores.iter().map(|s| s.id()).collect();
+        for array in arrays {
+            for ix in self.stores[array.0 as usize].indices() {
+                self.deliver_sys(
+                    ObjId { array, ix },
+                    SysEvent::Restarted { failed_pe: pe },
+                    done,
+                );
+            }
+        }
+    }
+
+    /// Drop Deliver/PeFree/PeRetry/MigrateArrive events (message & execution
+    /// state), keeping hardware-driven events (failures, DVFS ticks,
+    /// reconfigurations).
+    fn purge_volatile_events(&mut self) {
+        let mut keep = Vec::new();
+        while let Some((t, ev)) = self.events.pop() {
+            match ev {
+                Ev::Deliver { .. } | Ev::PeFree { .. } | Ev::PeRetry { .. } | Ev::MigrateArrive { .. } => {}
+                other => keep.push((t, other)),
+            }
+        }
+        for (t, ev) in keep {
+            self.events.push(t, ev);
+        }
+    }
+
+    // ----- disk checkpointing -------------------------------------------------
+
+    /// Write the full application state to `path` (a real file). Returns the
+    /// modeled virtual-time cost of the parallel write and the byte volume.
+    ///
+    /// Chare-based checkpointing means the restart PE count is independent of
+    /// this run's PE count (§III-B).
+    pub fn checkpoint_to_disk(&mut self, path: &Path) -> std::io::Result<DiskCkptInfo> {
+        let mut out: Vec<u8> = Vec::new();
+        out.extend_from_slice(b"CHMCKPT1");
+        let arrays: Vec<_> = self.stores.iter().map(|s| s.id()).collect();
+        write_u64(&mut out, arrays.len() as u64);
+        let mut per_pe = vec![0usize; self.machine.num_pes];
+        for id in arrays {
+            let name = self.stores[id.0 as usize].name().to_string();
+            write_bytes(&mut out, name.as_bytes());
+            let indices = self.stores[id.0 as usize].indices();
+            write_u64(&mut out, indices.len() as u64);
+            for ix in indices {
+                let pe = self.stores[id.0 as usize].element_pe(&ix).expect("listed");
+                let body = self.stores[id.0 as usize]
+                    .pack_element(&ix)
+                    .expect("listed");
+                per_pe[pe] += body.len();
+                let mut ixc = ix;
+                let ix_bytes = charm_pup::to_bytes(&mut ixc);
+                write_bytes(&mut out, &ix_bytes);
+                write_bytes(&mut out, &body);
+            }
+        }
+        std::fs::write(path, &out)?;
+        let max_pe_bytes = per_pe.iter().copied().max().unwrap_or(0);
+        let cost = self.machine.disk.write_time(self.live_pes, max_pe_bytes);
+        self.metrics
+            .entry("disk_ckpt_time_s".into())
+            .or_default()
+            .push((self.now.as_secs_f64(), cost.as_secs_f64()));
+        Ok(DiskCkptInfo {
+            virtual_cost: cost,
+            bytes: out.len(),
+        })
+    }
+
+    /// Restore application state from a disk checkpoint written by
+    /// [`Runtime::checkpoint_to_disk`]. All arrays must already be
+    /// registered (by name, with matching chare types) on this runtime.
+    /// Elements are placed by the home map of *this* runtime's PE count —
+    /// restart on any number of PEs.
+    pub fn restore_from_disk(&mut self, path: &Path) -> Result<DiskCkptInfo, String> {
+        let data = std::fs::read(path).map_err(|e| format!("read checkpoint: {e}"))?;
+        let mut r = Reader { data: &data, pos: 0 };
+        let magic = r.take(8)?;
+        if magic != b"CHMCKPT1" {
+            return Err("bad checkpoint magic".into());
+        }
+        let n_arrays = r.u64()?;
+        let mut max_pe_bytes = vec![0usize; self.live_pes];
+        for _ in 0..n_arrays {
+            let name = String::from_utf8(r.bytes()?.to_vec())
+                .map_err(|_| "invalid array name".to_string())?;
+            let id = self
+                .array_id(&name)
+                .ok_or_else(|| format!("array '{name}' not registered before restore"))?;
+            let n_elems = r.u64()?;
+            for _ in 0..n_elems {
+                let ix_bytes = r.bytes()?;
+                let ix: crate::Ix = charm_pup::from_bytes(ix_bytes);
+                let body = r.bytes()?;
+                let pe = self.home_pe(id, &ix);
+                max_pe_bytes[pe] += body.len();
+                self.stores[id.0 as usize].unpack_insert(ix, pe, body);
+            }
+        }
+        let max_bytes = max_pe_bytes.iter().copied().max().unwrap_or(0);
+        let cost = self.machine.disk.read_time(self.live_pes, max_bytes);
+        self.metrics
+            .entry("disk_restore_time_s".into())
+            .or_default()
+            .push((self.now.as_secs_f64(), cost.as_secs_f64()));
+        Ok(DiskCkptInfo {
+            virtual_cost: cost,
+            bytes: data.len(),
+        })
+    }
+
+    /// The last in-memory checkpoint, if any.
+    pub fn mem_checkpoint(&self) -> Option<&MemCheckpoint> {
+        self.mem_ckpt.as_ref()
+    }
+
+    /// Inject a failure of `pe` at virtual time `at` (on top of any failures
+    /// already in the machine's `FailurePlan`).
+    pub fn schedule_failure(&mut self, at: SimTime, pe: usize) {
+        self.events.push(at, Ev::NodeFail { pe });
+    }
+}
+
+/// Result of a disk checkpoint or restore.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskCkptInfo {
+    /// Modeled parallel I/O time on the simulated machine.
+    pub virtual_cost: SimTime,
+    /// Real bytes written/read on the host filesystem.
+    pub bytes: usize,
+}
+
+fn write_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn write_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    write_u64(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.data.len() {
+            return Err(format!(
+                "checkpoint truncated at offset {} (need {n} bytes)",
+                self.pos
+            ));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+    fn bytes(&mut self) -> Result<&'a [u8], String> {
+        let n = self.u64()? as usize;
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buddy_is_half_machine_away() {
+        assert_eq!(buddy_pe(0, 8), 4);
+        assert_eq!(buddy_pe(5, 8), 1);
+        assert_eq!(buddy_pe(3, 4), 1);
+        // buddy never maps to self for P >= 2
+        for p in 2..64 {
+            for pe in 0..p {
+                assert_ne!(buddy_pe(pe, p), pe, "pe={pe} P={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn reader_rejects_truncation() {
+        let mut r = Reader {
+            data: &[1, 2, 3],
+            pos: 0,
+        };
+        assert!(r.take(2).is_ok());
+        assert!(r.take(2).is_err());
+    }
+}

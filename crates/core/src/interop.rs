@@ -1,0 +1,71 @@
+//! Interoperation with host (MPI-style) programs (§III-G).
+//!
+//! A charm-rs module can be invoked from an ordinary control-flow program
+//! the way `CharmLibInit` exposes Charm++ modules to MPI codes: the host
+//! retains control, calls into the runtime, the runtime drives its event
+//! loop until the module signals completion (a chare calls `exit` or the
+//! system quiesces), and control returns to the host with the results.
+
+use crate::runtime::{RunSummary, Runtime};
+use charm_machine::SimTime;
+
+/// Handle the host program keeps while a charm module is loaded —
+/// the `CharmLibInit`/`CharmLibExit` bracket.
+pub struct CharmLib {
+    rt: Runtime,
+    /// Virtual time consumed by host (non-charm) phases, charged via
+    /// [`CharmLib::host_compute`].
+    host_time: SimTime,
+}
+
+impl CharmLib {
+    /// Initialize the library runtime (CharmLibInit).
+    pub fn init(rt: Runtime) -> Self {
+        CharmLib {
+            rt,
+            host_time: SimTime::ZERO,
+        }
+    }
+
+    /// Mutable access to the runtime between invocations (to create arrays,
+    /// insert chares, send kick-off messages).
+    pub fn runtime(&mut self) -> &mut Runtime {
+        &mut self.rt
+    }
+
+    /// Charge a bulk-synchronous host phase: every PE computes for
+    /// `seconds_per_pe` of virtual time (the "useful computation" / MPI
+    /// portions of an interop program).
+    pub fn host_compute(&mut self, seconds_per_pe: f64) {
+        self.host_time += SimTime::from_secs_f64(seconds_per_pe);
+    }
+
+    /// Transfer control to the charm module: runs the event loop until the
+    /// module finishes. Returns the module's virtual-time cost for this
+    /// invocation.
+    pub fn invoke(&mut self) -> (SimTime, RunSummary) {
+        let start = self.rt.now();
+        let summary = self.rt.run();
+        self.rt.clear_exit();
+        (self.rt.now().saturating_sub(start), summary)
+    }
+
+    /// Total virtual time of the interop program so far: host phases plus
+    /// charm-module phases.
+    pub fn total_time(&self) -> SimTime {
+        self.host_time + self.rt.now()
+    }
+
+    /// Tear down and recover the runtime (CharmLibExit).
+    pub fn exit(self) -> Runtime {
+        self.rt
+    }
+}
+
+impl Runtime {
+    /// Reset the exit flag so the runtime can be re-entered by a later
+    /// library invocation.
+    pub fn clear_exit(&mut self) {
+        self.exit_requested = false;
+    }
+}

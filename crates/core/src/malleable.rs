@@ -1,0 +1,102 @@
+//! Malleable jobs: shrink and expand the PE set at run time (§III-D).
+//!
+//! A shrink evacuates every chare from the PEs being retired (the runtime's
+//! object-centric model makes this a rebalancing problem, not an
+//! application-code problem), then retires them — no residual processes.
+//! An expand brings new PEs up (paying the modeled process-restart and
+//! reconnection cost that dominates the paper's 7.2 s figure) and
+//! redistributes chares across the larger set.
+
+use crate::runtime::Runtime;
+use charm_machine::SimTime;
+
+impl Runtime {
+    /// Handle a scheduled reconfiguration command (from the CCS-like
+    /// external channel, §III-D).
+    pub(crate) fn on_reconfigure(&mut self, to: usize) {
+        let to = to.clamp(1, self.machine.num_pes);
+        if to == self.live_pes {
+            return;
+        }
+        let shrinking = to < self.live_pes;
+        let old = self.live_pes;
+
+        if shrinking {
+            // Evacuate chares from retiring PEs (round-robin over the
+            // survivors; a follow-up LB round at the next AtSync will refine
+            // placement with real measurements).
+            let mut rr = 0usize;
+            let arrays: Vec<_> = self.stores.iter().map(|s| s.id()).collect();
+            let mut moved_bytes_max = 0usize;
+            for array in arrays {
+                for pe in to..old {
+                    for ix in self.stores[array.0 as usize].indices_on_pe(pe) {
+                        let bytes = self.stores[array.0 as usize]
+                            .pack_element(&ix)
+                            .expect("listed element");
+                        moved_bytes_max = moved_bytes_max.max(bytes.len());
+                        let target = rr % to;
+                        rr += 1;
+                        self.stores[array.0 as usize].remove_element(&ix);
+                        self.stores[array.0 as usize].unpack_insert(ix, target, &bytes);
+                    }
+                }
+            }
+            // Requeue messages stranded on retiring PEs.
+            let mut stranded = Vec::new();
+            for pe in to..old {
+                self.queued -= self.pes[pe].pending.len() as u64;
+                while let Some(p) = self.pes[pe].pending.pop() {
+                    stranded.push(p.env);
+                }
+                if self.pes[pe].busy {
+                    // The entry in flight finishes (its PeFree still fires);
+                    // only *new* work is refused.
+                }
+                self.pes[pe].alive = false;
+            }
+            self.live_pes = to;
+            for c in self.loc_cache.iter_mut() {
+                c.clear();
+            }
+            for env in stranded {
+                self.route_and_schedule(env, self.now);
+            }
+            let transfer = if moved_bytes_max > 0 {
+                self.net.delay(old - 1, 0, moved_bytes_max)
+            } else {
+                SimTime::ZERO
+            };
+            let done = self.now + self.reconfig_overhead_shrink + transfer;
+            self.block_all_pes(done);
+            self.journal_reconfig(old, to, done);
+        } else {
+            // Expand: revive PEs, then spread load with an LB round.
+            for pe in old..to {
+                self.pes[pe].alive = true;
+                self.pes[pe].blocked_until = SimTime::ZERO;
+            }
+            self.live_pes = to;
+            for c in self.loc_cache.iter_mut() {
+                c.clear();
+            }
+            let done = self.now + self.reconfig_overhead_expand;
+            self.block_all_pes(done);
+            self.rts_triggered_lb();
+            self.journal_reconfig(old, to, done);
+        }
+    }
+
+    fn journal_reconfig(&mut self, from: usize, to: usize, done: SimTime) {
+        let cost = done.saturating_sub(self.now).as_secs_f64();
+        self.metrics
+            .entry("reconfigure".into())
+            .or_default()
+            .push((self.now.as_secs_f64(), to as f64));
+        self.metrics
+            .entry("reconfigure_cost_s".into())
+            .or_default()
+            .push((self.now.as_secs_f64(), cost));
+        let _ = from;
+    }
+}

@@ -1,0 +1,163 @@
+//! Power/temperature awareness (§III-C): periodic chip-temperature
+//! sampling, DVFS control, and frequency-aware load balancing.
+//!
+//! Reproduces the five schemes of Fig. 4:
+//!
+//! * `Off` — temperature not even sampled (machines without a thermal model),
+//! * `Base` — temperatures tracked, no DVFS, no LB: fast but hot,
+//! * `Naive` — DVFS caps temperature but the resulting heterogeneity is
+//!   ignored, so tightly coupled apps slow to the hottest chip's pace,
+//! * `WithLb { period }` — DVFS plus frequency-aware LB every `period`
+//!   (the paper's LB_10s / LB_5s),
+//! * `MetaTemp` — DVFS plus LB triggered only when the measured imbalance
+//!   makes rebalancing worth its cost.
+
+use crate::runtime::{Ev, Runtime};
+use charm_machine::SimTime;
+
+/// The temperature-control scheme the RTS applies at each DVFS tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DvfsScheme {
+    /// No thermal control at all.
+    Off,
+    /// Track temperature only (the paper's "Base" case).
+    Base,
+    /// DVFS without load balancing ("Naive_DVFS").
+    Naive,
+    /// DVFS plus periodic frequency-aware load balancing ("LB_10s"/"LB_5s").
+    WithLb {
+        /// Rebalancing period.
+        period: SimTime,
+    },
+    /// DVFS plus benefit-triggered load balancing ("MetaTemp").
+    MetaTemp {
+        /// Imbalance (max/avg) above which rebalancing is considered
+        /// worthwhile.
+        min_imbalance: f64,
+    },
+}
+
+impl Runtime {
+    /// One temperature-sampling / DVFS-control period elapsed.
+    pub(crate) fn on_dvfs_tick(&mut self) {
+        let Some(thermal) = self.thermal.as_mut() else {
+            return;
+        };
+        let period_s = self.dvfs_period.as_secs_f64();
+        let cores = self.machine.cores_per_chip as f64;
+        let mut any_freq_change = false;
+
+        for chip in 0..thermal.num_chips() {
+            let busy = std::mem::replace(&mut self.chip_busy[chip], SimTime::ZERO);
+            let util = (busy.as_secs_f64() / (period_s * cores)).clamp(0.0, 1.0);
+            thermal.advance(chip, period_s, util);
+            match self.dvfs {
+                DvfsScheme::Off | DvfsScheme::Base => {}
+                DvfsScheme::Naive | DvfsScheme::WithLb { .. } | DvfsScheme::MetaTemp { .. } => {
+                    if thermal.dvfs_step(chip) {
+                        any_freq_change = true;
+                    }
+                }
+            }
+        }
+
+        // Journal temperature / frequency observations.
+        let max_t = (0..thermal.num_chips())
+            .map(|c| thermal.temp(c))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let avg_f = (0..thermal.num_chips())
+            .map(|c| thermal.freq_factor(c))
+            .sum::<f64>()
+            / thermal.num_chips().max(1) as f64;
+        let now_s = self.now.as_secs_f64();
+        self.metrics
+            .entry("max_temp_c".into())
+            .or_default()
+            .push((now_s, max_t));
+        self.metrics
+            .entry("avg_freq".into())
+            .or_default()
+            .push((now_s, avg_f));
+
+        // Frequency-aware LB, per scheme.
+        match self.dvfs {
+            DvfsScheme::WithLb { period }
+                if self.now.saturating_sub(self.last_rts_lb) >= period => {
+                    self.last_rts_lb = self.now;
+                    self.rts_triggered_lb();
+                }
+            DvfsScheme::MetaTemp { min_imbalance }
+                if any_freq_change => {
+                    let stats = self.collect_stats_peek();
+                    if stats.imbalance() > min_imbalance {
+                        self.last_rts_lb = self.now;
+                        self.rts_triggered_lb();
+                    }
+                }
+            _ => {}
+        }
+
+        let next = self.now + self.dvfs_period;
+        self.events.push(next, Ev::DvfsTick);
+    }
+
+    /// An RTS-triggered LB round (no AtSync barrier involved): used by the
+    /// thermal schemes and by cloud interference handling (§IV-F: "instead
+    /// of application-triggered periodic load balancing, we switch to an
+    /// RTS-triggered approach").
+    pub(crate) fn rts_triggered_lb(&mut self) {
+        if self.lb.is_none() {
+            return;
+        }
+        self.run_lb_round(self.now, false);
+    }
+
+    /// Schedule periodic RTS-triggered load balancing every `period`,
+    /// starting one period from now (cloud scenarios, Fig. 16).
+    pub fn schedule_periodic_lb(&mut self, period: SimTime, rounds: usize) {
+        for k in 1..=rounds {
+            self.events
+                .push(SimTime(self.now.0 + period.0 * k as u64), Ev::RtsLb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charm_machine::presets;
+
+    #[test]
+    fn dvfs_tick_tracks_temperature() {
+        let machine = presets::thermal_testbed(16);
+        let mut rt = Runtime::builder(machine)
+            .dvfs(DvfsScheme::Base)
+            .dvfs_period(SimTime::from_secs(1))
+            .build();
+        // Nothing to run; just let the sampler tick a few times.
+        rt.run_for(SimTime::from_secs(10));
+        let temps = rt.metric("max_temp_c");
+        assert!(temps.len() >= 9, "got {} samples", temps.len());
+        // Idle machine drifts toward its leakage-only steady state, which
+        // sits near (±cooling variation) the initial temperature — never
+        // anywhere close to the loaded threshold.
+        let cfg = rt.thermal().unwrap().config().clone();
+        assert!(temps.iter().all(|&(_, t)| t <= cfg.initial_c + 5.0));
+        assert!(temps.iter().all(|&(_, t)| t < cfg.threshold_c));
+    }
+
+    #[test]
+    fn naive_dvfs_reduces_frequency_when_hot() {
+        let mut machine = presets::thermal_testbed(4);
+        if let Some(t) = machine.thermal.as_mut() {
+            t.initial_c = 80.0; // start hot
+        }
+        let mut rt = Runtime::builder(machine)
+            .dvfs(DvfsScheme::Naive)
+            .dvfs_period(SimTime::from_secs(1))
+            .build();
+        rt.run_for(SimTime::from_secs(5));
+        let f = rt.metric("avg_freq");
+        assert!(f.last().unwrap().1 < 1.0, "frequency should have dropped");
+    }
+}

@@ -1,0 +1,244 @@
+//! End-to-end tests of the §III-B/§III-D machinery: double in-memory
+//! checkpointing with failure recovery, disk checkpoint/restart on a
+//! different PE count, and malleable shrink/expand.
+
+use charm_core::{
+    Callback, Chare, Ctx, Ix, RedOp, RedValue, Runtime, SimTime, SysEvent,
+};
+use charm_pup::{Pup, Puper};
+
+const WORKERS: i64 = 24;
+const TARGET_STEPS: u64 = 8;
+const CKPT_AT: u64 = 3;
+
+/// An iterative worker: contributes to a per-step reduction.
+#[derive(Default)]
+struct Worker {
+    steps_done: u64,
+}
+
+impl Pup for Worker {
+    fn pup(&mut self, p: &mut Puper) {
+        p.p(&mut self.steps_done);
+    }
+}
+
+#[derive(Default, Clone)]
+struct Step(u64);
+impl Pup for Step {
+    fn pup(&mut self, p: &mut Puper) {
+        p.p(&mut self.0);
+    }
+}
+
+impl Chare for Worker {
+    type Msg = Step;
+    fn on_message(&mut self, Step(n): Step, ctx: &mut Ctx<'_>) {
+        self.steps_done = n + 1;
+        ctx.work(2e6);
+        let workers = charm_core::ArrayProxy::<Worker>::from_id(ctx.my_id().array);
+        ctx.contribute(
+            workers,
+            n as u32,
+            RedValue::I64(1),
+            RedOp::Sum,
+            Callback::ToChare {
+                array: charm_core::ArrayId(1),
+                ix: Ix::i1(0),
+            },
+        );
+    }
+}
+
+/// The driver chare: counts completed steps, checkpoints once, and re-kicks
+/// the iteration after a recovery.
+#[derive(Default)]
+struct Main {
+    step: u64,
+    recoveries: u64,
+}
+
+impl Pup for Main {
+    fn pup(&mut self, p: &mut Puper) {
+        p.p(&mut self.step);
+        p.p(&mut self.recoveries);
+    }
+}
+
+impl Chare for Main {
+    type Msg = Step;
+    fn on_message(&mut self, _m: Step, _ctx: &mut Ctx<'_>) {}
+
+    fn on_event(&mut self, ev: SysEvent, ctx: &mut Ctx<'_>) {
+        let workers = charm_core::ArrayProxy::<Worker>::from_id(charm_core::ArrayId(0));
+        match ev {
+            SysEvent::Reduction { tag, value } => {
+                assert_eq!(tag as u64, self.step);
+                assert_eq!(value.as_i64(), WORKERS);
+                self.step += 1;
+                ctx.log_metric("step_done", self.step as f64);
+                if self.step == CKPT_AT {
+                    ctx.start_mem_checkpoint(ctx.cb_self());
+                } else if self.step < TARGET_STEPS {
+                    ctx.broadcast(workers, Step(self.step));
+                } else {
+                    ctx.exit();
+                }
+            }
+            SysEvent::CheckpointDone => {
+                ctx.log_metric("ckpt_done", 1.0);
+                ctx.broadcast(workers, Step(self.step));
+            }
+            SysEvent::Restarted { failed_pe } => {
+                self.recoveries += 1;
+                ctx.log_metric("recovered_from", failed_pe as f64);
+                // Roll forward from the checkpointed step.
+                ctx.broadcast(workers, Step(self.step));
+            }
+            _ => {}
+        }
+    }
+}
+
+fn build(num_pes: usize) -> Runtime {
+    let mut rt = Runtime::homogeneous(num_pes);
+    let workers = rt.create_array::<Worker>("workers");
+    let main = rt.create_array::<Main>("main");
+    for i in 0..WORKERS {
+        rt.insert(workers, Ix::i1(i), Worker::default(), None);
+    }
+    rt.insert(main, Ix::i1(0), Main::default(), Some(0));
+    rt.broadcast(workers, Step(0));
+    rt
+}
+
+#[test]
+fn survives_injected_node_failure() {
+    let mut rt = build(8);
+    // Kill PE 5 well into the run (after the checkpoint at step 3).
+    rt.schedule_failure(SimTime::from_millis(40), 5);
+    rt.run();
+
+    let steps: Vec<f64> = rt.metric("step_done").iter().map(|s| s.1).collect();
+    assert_eq!(
+        *steps.last().unwrap(),
+        TARGET_STEPS as f64,
+        "run must reach the target step count despite the failure"
+    );
+    assert_eq!(rt.metric("recovered_from").len(), 1, "one recovery");
+    assert_eq!(rt.metric("restart_time_s").len(), 1);
+    assert_eq!(rt.metric("ckpt_time_s").len(), 1);
+    // The rollback re-executes steps between the checkpoint and the crash.
+    let redone = steps.iter().filter(|&&s| s <= CKPT_AT as f64 + 2.0).count();
+    assert!(redone >= CKPT_AT as usize, "some steps re-executed: {steps:?}");
+}
+
+#[test]
+fn failure_without_checkpoint_is_not_recovered() {
+    let mut rt = Runtime::homogeneous(4);
+    let workers = rt.create_array::<Worker>("workers");
+    for i in 0..4 {
+        rt.insert(workers, Ix::i1(i), Worker::default(), None);
+    }
+    rt.schedule_failure(SimTime::from_nanos(10), 2);
+    rt.run();
+    assert_eq!(rt.metric("unrecovered_failures").len(), 1);
+}
+
+#[test]
+fn deterministic_even_with_failures() {
+    let run = || {
+        let mut rt = build(8);
+        rt.schedule_failure(SimTime::from_millis(40), 5);
+        let s = rt.run();
+        (s.end_time, s.entries, s.messages)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn disk_checkpoint_restarts_on_different_pe_count() {
+    let dir = std::env::temp_dir().join("charm_rs_ckpt_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ckpt.bin");
+
+    // Run half the steps on 8 PEs, checkpoint to disk.
+    let mut rt = build(8);
+    rt.run_until(SimTime::from_millis(25));
+    let done_before = rt.metric("step_done").len();
+    assert!(done_before >= 1, "made progress before checkpointing");
+    let info = rt.checkpoint_to_disk(&path).expect("write checkpoint");
+    assert!(info.bytes > 0);
+    assert!(info.virtual_cost > SimTime::ZERO);
+
+    // Restore into a *fresh* runtime with a different PE count (§III-B:
+    // "can be restarted on any number of PEs").
+    let mut rt2 = Runtime::homogeneous(3);
+    let workers = rt2.create_array::<Worker>("workers");
+    let main = rt2.create_array::<Main>("main");
+    let _ = (workers, main);
+    rt2.restore_from_disk(&path).expect("restore");
+    assert_eq!(rt2.array_len(charm_core::ArrayId(0)), WORKERS as usize);
+    assert_eq!(rt2.array_len(charm_core::ArrayId(1)), 1);
+    // All elements must land on live PEs of the smaller machine.
+    for ix in rt2.array_indices(charm_core::ArrayId(0)) {
+        let pe = rt2.element_pe(charm_core::ArrayId(0), &ix).unwrap();
+        assert!(pe < 3);
+    }
+
+    // The restored app continues from the checkpointed iteration to the end.
+    rt2.broadcast(
+        charm_core::ArrayProxy::<Worker>::from_id(charm_core::ArrayId(0)),
+        Step(done_before as u64),
+    );
+    rt2.run();
+    let steps: Vec<f64> = rt2.metric("step_done").iter().map(|s| s.1).collect();
+    assert_eq!(*steps.last().unwrap(), TARGET_STEPS as f64);
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn restore_requires_registered_arrays() {
+    let dir = std::env::temp_dir().join("charm_rs_ckpt_test2");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ckpt.bin");
+    let mut rt = build(4);
+    rt.run_until(SimTime::from_millis(5));
+    rt.checkpoint_to_disk(&path).unwrap();
+
+    let mut rt2 = Runtime::homogeneous(2);
+    let err = rt2.restore_from_disk(&path).unwrap_err();
+    assert!(err.contains("not registered"), "got: {err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn shrink_doubles_iteration_time_and_expand_restores_it() {
+    // A fixed-work iterative job: per-step time is inversely proportional
+    // to the PE count (Fig. 5's LeanMD behaviour).
+    let mut rt = build(16);
+    rt.schedule_reconfigure(SimTime::from_millis(30), 8);
+    rt.run();
+    assert!(rt.metric("reconfigure").len() == 1);
+    // All elements must have evacuated PEs 8..16.
+    for ix in rt.array_indices(charm_core::ArrayId(0)) {
+        let pe = rt.element_pe(charm_core::ArrayId(0), &ix).unwrap();
+        assert!(pe < 8, "element {ix} still on retired PE {pe}");
+    }
+    assert_eq!(rt.num_pes(), 8);
+    let steps: Vec<f64> = rt.metric("step_done").iter().map(|s| s.1).collect();
+    assert_eq!(*steps.last().unwrap(), TARGET_STEPS as f64, "job completed");
+}
+
+#[test]
+fn expand_spreads_elements_to_new_pes() {
+    let mut rt = build(16);
+    // Start shrunk: do it immediately, then expand mid-run.
+    rt.schedule_reconfigure(SimTime::from_nanos(1), 4);
+    rt.schedule_reconfigure(SimTime::from_millis(30), 16);
+    rt.run();
+    assert_eq!(rt.num_pes(), 16);
+    let steps: Vec<f64> = rt.metric("step_done").iter().map(|s| s.1).collect();
+    assert_eq!(*steps.last().unwrap(), TARGET_STEPS as f64);
+}

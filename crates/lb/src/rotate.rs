@@ -1,0 +1,51 @@
+//! RotateLB: migrate everything one PE over — a migration stress test.
+
+use charm_core::{LbStats, Strategy};
+
+/// Moves every object from PE *p* to PE *p+1 (mod P)*. Useless for balance,
+/// priceless for exercising migration paths, location-cache invalidation,
+/// and forwarding (Charm++ ships the same strategy for the same reason).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RotateLb;
+
+impl Strategy for RotateLb {
+    fn name(&self) -> &'static str {
+        "RotateLB"
+    }
+
+    fn assign(&mut self, stats: &LbStats) -> Vec<Option<usize>> {
+        stats
+            .objs
+            .iter()
+            .map(|o| Some((o.pe + 1) % stats.num_pes))
+            .collect()
+    }
+
+    fn decision_cost(&self, _num_objs: usize, _num_pes: usize) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charm_core::lbframework::synthetic_stats;
+
+    #[test]
+    fn rotate_moves_everything() {
+        let stats = synthetic_stats(4, &[1.0; 12]);
+        let a = RotateLb.assign(&stats);
+        assert_eq!(a.iter().flatten().count(), 12);
+        for (o, x) in stats.objs.iter().zip(&a) {
+            assert_eq!(x.unwrap(), (o.pe + 1) % 4);
+        }
+    }
+
+    #[test]
+    fn rotate_on_one_pe_is_identity_assignment() {
+        let stats = synthetic_stats(1, &[1.0; 3]);
+        let a = RotateLb.assign(&stats);
+        // (p+1) % 1 == p == 0: "moves" map back to the same PE.
+        assert!(a.iter().all(|x| *x == Some(0)));
+    }
+}

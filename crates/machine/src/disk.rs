@@ -1,0 +1,84 @@
+//! Parallel-filesystem cost model for disk checkpoints (§III-B).
+
+use crate::SimTime;
+
+/// Cost model for checkpoint I/O to the parallel filesystem.
+///
+/// The filesystem has an aggregate bandwidth shared by all writers plus a
+/// fixed per-operation latency; per-PE bandwidth is additionally capped (a
+/// single writer cannot saturate the whole filesystem).
+#[derive(Debug, Clone)]
+pub struct DiskModel {
+    /// Aggregate filesystem bandwidth, bytes/second.
+    pub aggregate_bw: f64,
+    /// Cap on one PE's streaming bandwidth, bytes/second.
+    pub per_pe_bw: f64,
+    /// Fixed open/metadata latency per file operation.
+    pub op_latency: SimTime,
+}
+
+impl Default for DiskModel {
+    fn default() -> Self {
+        // A modest Lustre-like filesystem: 20 GB/s aggregate, 500 MB/s/PE.
+        DiskModel {
+            aggregate_bw: 20e9,
+            per_pe_bw: 500e6,
+            op_latency: SimTime::from_millis(2),
+        }
+    }
+}
+
+impl DiskModel {
+    /// Time for `writers` PEs to each write `bytes_per_pe` concurrently.
+    ///
+    /// Effective per-PE bandwidth is min(per-PE cap, aggregate / writers).
+    pub fn write_time(&self, writers: usize, bytes_per_pe: usize) -> SimTime {
+        if writers == 0 || bytes_per_pe == 0 {
+            return self.op_latency;
+        }
+        let share = self.aggregate_bw / writers as f64;
+        let bw = self.per_pe_bw.min(share);
+        self.op_latency + SimTime::from_secs_f64(bytes_per_pe as f64 / bw)
+    }
+
+    /// Time for `readers` PEs to each read `bytes_per_pe` concurrently
+    /// (same model as writes).
+    pub fn read_time(&self, readers: usize, bytes_per_pe: usize) -> SimTime {
+        self.write_time(readers, bytes_per_pe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_writers_share_bandwidth() {
+        let d = DiskModel::default();
+        let few = d.write_time(4, 1_000_000_000);
+        let many = d.write_time(4000, 1_000_000_000);
+        assert!(many > few);
+    }
+
+    #[test]
+    fn per_pe_cap_binds_at_small_scale() {
+        let d = DiskModel::default();
+        // 1 writer: limited by per-PE bw, not aggregate.
+        let t = d.write_time(1, 500_000_000);
+        let expect = d.op_latency + SimTime::from_secs_f64(500e6 / 500e6);
+        assert_eq!(t, expect);
+    }
+
+    #[test]
+    fn zero_bytes_costs_only_latency() {
+        let d = DiskModel::default();
+        assert_eq!(d.write_time(10, 0), d.op_latency);
+        assert_eq!(d.write_time(0, 10), d.op_latency);
+    }
+
+    #[test]
+    fn read_equals_write_model() {
+        let d = DiskModel::default();
+        assert_eq!(d.read_time(64, 123_456), d.write_time(64, 123_456));
+    }
+}

@@ -1,0 +1,136 @@
+//! The discrete-event heap: a total order over (time, insertion sequence).
+
+use crate::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A deterministic event queue.
+///
+/// Events with equal timestamps pop in insertion order, which — together
+/// with seeded RNGs everywhere else — makes whole simulations replayable.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+struct Entry<T> {
+    key: Reverse<(SimTime, u64)>,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedule `payload` at `time`.
+    pub fn push(&mut self, time: SimTime, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            key: Reverse((time, seq)),
+            payload,
+        });
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|e| (e.key.0 .0, e.payload))
+    }
+
+    /// Timestamp of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.key.0 .0)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop all pending events (used when a simulation is aborted).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), "c");
+        q.push(SimTime::from_nanos(10), "a");
+        q.push(SimTime::from_nanos(20), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(2), ());
+        q.push(SimTime::from_millis(1), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(1)));
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_millis(1));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, 1);
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+//! Scheduled node-failure injection (§III-B's "simulated failure" runs).
+
+use crate::SimTime;
+
+/// One injected crash: the node containing `pe` fails at `time`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Failure {
+    /// When the node dies.
+    pub time: SimTime,
+    /// A PE on the failing node (the runtime expands this to the node's
+    /// full PE range using its node size).
+    pub pe: usize,
+}
+
+/// The full failure schedule for a run.
+#[derive(Debug, Clone, Default)]
+pub struct FailurePlan {
+    events: Vec<Failure>,
+}
+
+impl FailurePlan {
+    /// No failures.
+    pub fn none() -> Self {
+        FailurePlan { events: Vec::new() }
+    }
+
+    /// Build from a list of (time, pe) pairs; sorts by time.
+    pub fn at(mut events: Vec<Failure>) -> Self {
+        events.sort_by_key(|f| f.time);
+        FailurePlan { events }
+    }
+
+    /// Add one failure.
+    pub fn push(&mut self, time: SimTime, pe: usize) {
+        self.events.push(Failure { time, pe });
+        self.events.sort_by_key(|f| f.time);
+    }
+
+    /// All scheduled failures in time order.
+    pub fn events(&self) -> &[Failure] {
+        &self.events
+    }
+
+    /// True when no failures are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_sorts_by_time() {
+        let p = FailurePlan::at(vec![
+            Failure {
+                time: SimTime::from_secs(9),
+                pe: 1,
+            },
+            Failure {
+                time: SimTime::from_secs(3),
+                pe: 2,
+            },
+        ]);
+        assert_eq!(p.events()[0].pe, 2);
+        assert_eq!(p.events()[1].pe, 1);
+    }
+
+    #[test]
+    fn push_keeps_order() {
+        let mut p = FailurePlan::none();
+        assert!(p.is_empty());
+        p.push(SimTime::from_secs(5), 0);
+        p.push(SimTime::from_secs(1), 7);
+        assert_eq!(p.events()[0].pe, 7);
+        assert!(!p.is_empty());
+    }
+}

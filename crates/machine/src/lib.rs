@@ -1,0 +1,133 @@
+//! # charm-machine — a deterministic discrete-event machine simulator
+//!
+//! The hardware substrate the charm-rs runtime executes on. The paper's
+//! evaluation ran on IBM BG/Q, Cray XE6/XK7/XT5, Hopper, Stampede and a
+//! kvm cloud; none of those are available here, so this crate models them:
+//!
+//! * [`SimTime`] — integer-nanosecond virtual time,
+//! * [`EventQueue`] — a total-ordered (time, sequence) event heap,
+//! * [`NetworkModel`] — α + size·β (+ hops·γ) message cost with optional
+//!   N-dimensional torus topologies and seeded jitter,
+//! * [`thermal`] — a lumped-RC chip temperature model with a DVFS ladder,
+//! * [`SpeedModel`] — static per-PE heterogeneity plus timed interference
+//!   windows (cloud multi-tenancy),
+//! * [`FailurePlan`] — scheduled node crashes,
+//! * [`DiskModel`] — checkpoint I/O cost,
+//! * [`presets`] — parameterizations approximating each machine the paper
+//!   used.
+//!
+//! Everything is a *passive cost/state model*: the runtime in `charm-core`
+//! drives the event loop and asks these models what things cost. All
+//! stochastic elements draw from seeded RNGs, so entire runs replay
+//! bit-identically.
+
+mod disk;
+mod events;
+mod failure;
+mod network;
+pub mod presets;
+mod speed;
+pub mod thermal;
+mod time;
+pub mod topology;
+
+pub use disk::DiskModel;
+pub use events::EventQueue;
+pub use failure::FailurePlan;
+pub use network::{NetworkModel, NetworkParams};
+pub use speed::{InterferenceWindow, SpeedModel};
+pub use time::SimTime;
+pub use topology::Torus;
+
+use thermal::ThermalConfig;
+
+/// Full description of a simulated machine.
+///
+/// Build one from a [`presets`] constructor and tweak fields, or assemble it
+/// directly.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Human-readable name used in reports ("Vesta (IBM BG/Q)", …).
+    pub name: String,
+    /// Number of processing elements (cores, or hardware threads for BG/Q
+    /// runs using multiple processes per core).
+    pub num_pes: usize,
+    /// Cores grouped onto one chip — the granularity of the thermal model
+    /// and of DVFS decisions.
+    pub cores_per_chip: usize,
+    /// Reference compute throughput of one PE, in work-units per second.
+    /// Entry methods declare their cost in work-units; a PE at speed 1.0
+    /// executes `flops_per_sec` of them per virtual second.
+    pub flops_per_sec: f64,
+    /// The interconnect model.
+    pub network: NetworkParams,
+    /// Thermal/DVFS model (None = temperature is not simulated).
+    pub thermal: Option<ThermalConfig>,
+    /// Per-PE static speed plus dynamic interference.
+    pub speed: SpeedModel,
+    /// Node failures to inject.
+    pub failures: FailurePlan,
+    /// Disk used for file-based checkpoints.
+    pub disk: DiskModel,
+}
+
+impl MachineConfig {
+    /// A small homogeneous machine with an InfiniBand-like network —
+    /// a reasonable default for tests and quickstarts.
+    pub fn homogeneous(num_pes: usize) -> Self {
+        MachineConfig {
+            name: format!("generic-{num_pes}"),
+            num_pes,
+            cores_per_chip: 16,
+            flops_per_sec: 1e9,
+            network: NetworkParams::infiniband(),
+            thermal: None,
+            speed: SpeedModel::uniform(num_pes),
+            failures: FailurePlan::none(),
+            disk: DiskModel::default(),
+        }
+    }
+
+    /// Change the PE count, keeping all cost models (used by strong-scaling
+    /// sweeps and by malleable shrink/expand).
+    pub fn with_pes(mut self, num_pes: usize) -> Self {
+        self.num_pes = num_pes;
+        self.speed.resize(num_pes);
+        self
+    }
+
+    /// Number of chips implied by `num_pes` / `cores_per_chip`.
+    pub fn num_chips(&self) -> usize {
+        self.num_pes.div_ceil(self.cores_per_chip)
+    }
+
+    /// Chip that hosts a PE.
+    pub fn chip_of(&self, pe: usize) -> usize {
+        pe / self.cores_per_chip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_machine_shape() {
+        let m = MachineConfig::homogeneous(64);
+        assert_eq!(m.num_pes, 64);
+        assert_eq!(m.num_chips(), 4);
+        assert_eq!(m.chip_of(0), 0);
+        assert_eq!(m.chip_of(17), 1);
+        assert_eq!(m.chip_of(63), 3);
+    }
+
+    #[test]
+    fn with_pes_resizes_speed_model() {
+        let m = MachineConfig::homogeneous(8).with_pes(32);
+        assert_eq!(m.num_pes, 32);
+        // every PE must have a defined speed
+        for pe in 0..32 {
+            assert!(m.speed.static_speed(pe) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Interconnect cost model: latency/bandwidth (α–β) with optional torus hop
+//! costs and seeded jitter.
+
+use crate::{SimTime, Torus};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Static parameters of a network (cloneable machine-description half).
+#[derive(Debug, Clone)]
+pub struct NetworkParams {
+    /// Per-message latency (the α term), one-way.
+    pub alpha: SimTime,
+    /// Seconds per byte (1 / bandwidth), the β term.
+    pub beta_sec_per_byte: f64,
+    /// Extra latency per torus hop (γ); ignored without a topology.
+    pub per_hop: SimTime,
+    /// Physical topology for hop counts; `None` = flat full crossbar.
+    pub torus_dims: Option<Vec<usize>>,
+    /// Relative jitter amplitude (0.0 = deterministic delays; 0.1 = ±10 %).
+    pub jitter: f64,
+    /// Fixed cost of injecting any message (send-side software overhead).
+    pub injection_overhead: SimTime,
+    /// Cost of a local (same-PE) delivery — scheduler queue hop only.
+    pub local_delivery: SimTime,
+}
+
+impl NetworkParams {
+    /// InfiniBand-like cluster fabric: ~1.5 µs latency, ~5 GB/s.
+    pub fn infiniband() -> Self {
+        NetworkParams {
+            alpha: SimTime::from_nanos(1_500),
+            beta_sec_per_byte: 1.0 / 5e9,
+            per_hop: SimTime::from_nanos(0),
+            torus_dims: None,
+            jitter: 0.0,
+            injection_overhead: SimTime::from_nanos(300),
+            local_delivery: SimTime::from_nanos(80),
+        }
+    }
+
+    /// BG/Q-like 5-D torus: ~2.5 µs latency, 1.8 GB/s per link.
+    pub fn bgq_torus(dims: Vec<usize>) -> Self {
+        NetworkParams {
+            alpha: SimTime::from_nanos(2_500),
+            beta_sec_per_byte: 1.0 / 1.8e9,
+            per_hop: SimTime::from_nanos(60),
+            torus_dims: Some(dims),
+            jitter: 0.0,
+            injection_overhead: SimTime::from_nanos(400),
+            local_delivery: SimTime::from_nanos(80),
+        }
+    }
+
+    /// Cray Gemini-like (XE6/XK7) 3-D torus: ~1.8 µs, ~3 GB/s.
+    pub fn gemini_torus(dims: Vec<usize>) -> Self {
+        NetworkParams {
+            alpha: SimTime::from_nanos(1_800),
+            beta_sec_per_byte: 1.0 / 3e9,
+            per_hop: SimTime::from_nanos(100),
+            torus_dims: Some(dims),
+            jitter: 0.0,
+            injection_overhead: SimTime::from_nanos(350),
+            local_delivery: SimTime::from_nanos(80),
+        }
+    }
+
+    /// Cray SeaStar-like (XT5) 3-D torus: slower than Gemini.
+    pub fn seastar_torus(dims: Vec<usize>) -> Self {
+        NetworkParams {
+            alpha: SimTime::from_nanos(4_500),
+            beta_sec_per_byte: 1.0 / 1.6e9,
+            per_hop: SimTime::from_nanos(180),
+            torus_dims: Some(dims),
+            jitter: 0.0,
+            injection_overhead: SimTime::from_nanos(600),
+            local_delivery: SimTime::from_nanos(80),
+        }
+    }
+
+    /// Commodity gigabit Ethernet as found in the paper's cloud testbeds:
+    /// an order of magnitude worse latency than HPC fabrics (§IV-F).
+    pub fn ethernet_1g() -> Self {
+        NetworkParams {
+            alpha: SimTime::from_micros(45),
+            beta_sec_per_byte: 1.0 / 110e6,
+            per_hop: SimTime::from_nanos(0),
+            torus_dims: None,
+            jitter: 0.15,
+            injection_overhead: SimTime::from_micros(4),
+            local_delivery: SimTime::from_nanos(120),
+        }
+    }
+}
+
+/// The stateful network model (owns the jitter RNG).
+pub struct NetworkModel {
+    params: NetworkParams,
+    torus: Option<Torus>,
+    rng: StdRng,
+}
+
+impl NetworkModel {
+    /// Instantiate a model from parameters with a jitter seed.
+    pub fn new(params: NetworkParams, seed: u64) -> Self {
+        let torus = params.torus_dims.as_ref().map(|d| Torus::new(d.clone()));
+        NetworkModel {
+            params,
+            torus,
+            rng: StdRng::seed_from_u64(seed ^ 0x006e_6574_776f_726b_u64),
+        }
+    }
+
+    /// Static parameters.
+    pub fn params(&self) -> &NetworkParams {
+        &self.params
+    }
+
+    /// One-way delivery delay for a `bytes`-byte message from `src` to `dst`.
+    ///
+    /// Same-PE messages cost only the scheduler hop. Jitter, when enabled,
+    /// multiplies the network portion by `1 ± U(0, jitter)`.
+    pub fn delay(&mut self, src: usize, dst: usize, bytes: usize) -> SimTime {
+        if src == dst {
+            return self.params.local_delivery;
+        }
+        let transfer = SimTime::from_secs_f64(bytes as f64 * self.params.beta_sec_per_byte);
+        let hop_cost = match &self.torus {
+            Some(t) if src < t.size() && dst < t.size() => {
+                let hops = t.hops(src, dst) as u64;
+                SimTime(self.params.per_hop.0 * hops)
+            }
+            _ => SimTime::ZERO,
+        };
+        let base = self.params.alpha + transfer + hop_cost;
+        let jittered = if self.params.jitter > 0.0 {
+            let f = 1.0 + self.rng.gen_range(-self.params.jitter..=self.params.jitter);
+            base * f
+        } else {
+            base
+        };
+        self.params.injection_overhead + jittered
+    }
+
+    /// Send-side CPU overhead charged to the sender for each message.
+    pub fn send_overhead(&self) -> SimTime {
+        self.params.injection_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_delivery_is_cheap() {
+        let mut n = NetworkModel::new(NetworkParams::infiniband(), 1);
+        let local = n.delay(3, 3, 1_000_000);
+        let remote = n.delay(3, 4, 1_000_000);
+        assert!(local < remote);
+        assert_eq!(local, NetworkParams::infiniband().local_delivery);
+    }
+
+    #[test]
+    fn bigger_messages_cost_more() {
+        let mut n = NetworkModel::new(NetworkParams::infiniband(), 1);
+        assert!(n.delay(0, 1, 10) < n.delay(0, 1, 1_000_000));
+    }
+
+    #[test]
+    fn torus_distance_matters() {
+        let mut n = NetworkModel::new(NetworkParams::bgq_torus(vec![8, 8]), 1);
+        let near = n.delay(0, 1, 64); // 1 hop
+        let far = n.delay(0, 8 * 4 + 4, 64); // (4,4): 8 hops
+        assert!(near < far, "near={near} far={far}");
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_seeded() {
+        let p = NetworkParams::ethernet_1g();
+        let mut a = NetworkModel::new(p.clone(), 7);
+        let mut b = NetworkModel::new(p.clone(), 7);
+        for _ in 0..100 {
+            let da = a.delay(0, 1, 1000);
+            let db = b.delay(0, 1, 1000);
+            assert_eq!(da, db, "same seed must give identical jitter");
+            let mut det = NetworkModel::new(
+                NetworkParams {
+                    jitter: 0.0,
+                    ..p.clone()
+                },
+                0,
+            );
+            let base = det.delay(0, 1, 1000).saturating_sub(p.injection_overhead);
+            let lo = base * (1.0 - p.jitter);
+            let hi = base * (1.0 + p.jitter) + SimTime::from_nanos(2);
+            let net = da.saturating_sub(p.injection_overhead);
+            assert!(net >= lo && net <= hi, "jitter out of bounds");
+        }
+    }
+
+    #[test]
+    fn ethernet_much_slower_than_infiniband() {
+        let mut ib = NetworkModel::new(NetworkParams::infiniband(), 1);
+        let mut eth = NetworkModel::new(
+            NetworkParams {
+                jitter: 0.0,
+                ..NetworkParams::ethernet_1g()
+            },
+            1,
+        );
+        // order-of-magnitude gap on small messages, as measured in §IV-F
+        assert!(eth.delay(0, 1, 64).as_nanos() > 10 * ib.delay(0, 1, 64).as_nanos());
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the machine models: torus geometry, network cost
+//! monotonicity, thermal stability, and event-queue ordering.
+
+use charm_machine::{EventQueue, NetworkModel, NetworkParams, SimTime, Torus};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// rank → coords → rank is the identity on any torus.
+    #[test]
+    fn torus_coords_bijective(dims in vec(1usize..7, 1..4)) {
+        let t = Torus::new(dims);
+        for r in 0..t.size() {
+            prop_assert_eq!(t.rank(&t.coords(r)), r);
+        }
+    }
+
+    /// Hop distance is a metric: symmetric, zero iff equal, triangle
+    /// inequality.
+    #[test]
+    fn torus_hops_is_a_metric(dims in vec(1usize..6, 1..4)) {
+        let t = Torus::new(dims);
+        let n = t.size();
+        for a in 0..n.min(12) {
+            for b in 0..n.min(12) {
+                prop_assert_eq!(t.hops(a, b), t.hops(b, a));
+                prop_assert_eq!(t.hops(a, b) == 0, a == b);
+                for c in 0..n.min(8) {
+                    prop_assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
+                }
+            }
+        }
+    }
+
+    /// Dimension-order routing always terminates at the destination within
+    /// `ndims` steps, and every intermediate is a valid rank.
+    #[test]
+    fn torus_routing_terminates(dims in vec(1usize..6, 1..4), seed in any::<u64>()) {
+        let t = Torus::new(dims);
+        let n = t.size();
+        let from = (seed % n as u64) as usize;
+        let to = ((seed >> 17) % n as u64) as usize;
+        let mut cur = from;
+        let mut steps = 0;
+        while let Some(next) = t.route_next(cur, to) {
+            prop_assert!(next < n);
+            cur = next;
+            steps += 1;
+            prop_assert!(steps <= t.ndims());
+        }
+        prop_assert_eq!(cur, to);
+    }
+
+    /// Exact factorization really is exact, for any n.
+    #[test]
+    fn torus_factored_exact(n in 1usize..10_000, ndims in 1usize..4) {
+        let t = Torus::factored(n, ndims);
+        prop_assert_eq!(t.size(), n);
+        prop_assert_eq!(t.ndims(), ndims);
+    }
+
+    /// Without jitter, network delay is monotone in message size and
+    /// invariant under (src, dst) swap on symmetric fabrics.
+    #[test]
+    fn network_delay_monotone(bytes_a in 0usize..1_000_000, bytes_b in 0usize..1_000_000) {
+        let mut net = NetworkModel::new(NetworkParams::infiniband(), 1);
+        let (small, large) = if bytes_a <= bytes_b { (bytes_a, bytes_b) } else { (bytes_b, bytes_a) };
+        prop_assert!(net.delay(0, 1, small) <= net.delay(0, 1, large));
+        prop_assert_eq!(net.delay(2, 5, small), net.delay(5, 2, small));
+    }
+
+    /// The event queue pops in nondecreasing time order for arbitrary
+    /// insertion sequences.
+    #[test]
+    fn event_queue_total_order(times in vec(0u64..1_000_000, 0..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+}
+
+#[test]
+fn thermal_never_diverges() {
+    use charm_machine::thermal::{ThermalConfig, ThermalModel};
+    // Bounded input ⇒ bounded temperature: at full utilization forever, a
+    // chip approaches (and never wildly overshoots) its steady state.
+    let mut m = ThermalModel::new(ThermalConfig::fig4(), 8);
+    for chip in 0..8 {
+        let ss = m.steady_state_temp(chip, 1.0);
+        for _ in 0..5_000 {
+            let t = m.advance(chip, 0.5, 1.0);
+            assert!(t.is_finite());
+            assert!(t < ss + 1.0, "chip {chip}: {t} overshoots steady {ss}");
+        }
+        assert!((m.temp(chip) - ss).abs() < 0.5);
+    }
+}

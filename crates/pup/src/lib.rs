@@ -1,0 +1,431 @@
+//! # charm-pup — the PUP (Pack/UnPack) serialization framework
+//!
+//! A Rust rendition of Charm++'s `PUP::er` framework (paper §II-D, Fig. 3).
+//! A single `pup` method describes an object's state once, and is driven in
+//! one of three modes:
+//!
+//! * **Sizing** — computes the number of bytes the packed form occupies,
+//! * **Packing** — serializes the object into a byte stream,
+//! * **Unpacking** — restores the object from a byte stream.
+//!
+//! The same traversal serves migration, checkpointing to disk, double
+//! in-memory checkpoints, and message transport, exactly as in Charm++.
+//!
+//! ```
+//! use charm_pup::{Pup, Puper};
+//!
+//! #[derive(Default, Debug, PartialEq)]
+//! struct A {
+//!     foo: i32,
+//!     bar: [f32; 4],
+//! }
+//!
+//! impl Pup for A {
+//!     fn pup(&mut self, p: &mut Puper) {
+//!         p.p(&mut self.foo);
+//!         charm_pup::pup_array(p, &mut self.bar);
+//!     }
+//! }
+//!
+//! let mut a = A { foo: 7, bar: [1.0, 2.0, 3.0, 4.0] };
+//! let bytes = charm_pup::to_bytes(&mut a);
+//! let b: A = charm_pup::from_bytes(&bytes);
+//! assert_eq!(a, b);
+//! ```
+
+mod impls;
+#[macro_use]
+mod macros;
+
+/// The mode a [`Puper`] is operating in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PupMode {
+    /// Counting bytes; no data is moved.
+    Sizing,
+    /// Writing object state into the internal buffer.
+    Packing,
+    /// Reading object state back out of a buffer.
+    Unpacking,
+}
+
+enum Inner {
+    Sizing { size: usize },
+    Packing { buf: Vec<u8> },
+    Unpacking { data: Vec<u8>, pos: usize },
+}
+
+/// The serialization driver, equivalent to Charm++'s `PUP::er`.
+///
+/// Construct one of the three modes with [`Puper::sizer`], [`Puper::packer`],
+/// or [`Puper::unpacker`], then hand it to [`Pup::pup`] implementations.
+pub struct Puper {
+    inner: Inner,
+}
+
+impl Puper {
+    /// A sizing puper: after traversal, [`Puper::size`] reports the packed size.
+    pub fn sizer() -> Self {
+        Puper {
+            inner: Inner::Sizing { size: 0 },
+        }
+    }
+
+    /// A packing puper. `capacity` pre-reserves the output buffer (pass the
+    /// result of a sizing pass to avoid reallocation, or 0 if unknown).
+    pub fn packer(capacity: usize) -> Self {
+        Puper {
+            inner: Inner::Packing {
+                buf: Vec::with_capacity(capacity),
+            },
+        }
+    }
+
+    /// An unpacking puper reading from `data`.
+    pub fn unpacker(data: Vec<u8>) -> Self {
+        Puper {
+            inner: Inner::Unpacking { data, pos: 0 },
+        }
+    }
+
+    /// An unpacking puper reading from a borrowed slice (copies the slice).
+    pub fn unpacker_from(data: &[u8]) -> Self {
+        Self::unpacker(data.to_vec())
+    }
+
+    /// Which mode this puper is in.
+    pub fn mode(&self) -> PupMode {
+        match self.inner {
+            Inner::Sizing { .. } => PupMode::Sizing,
+            Inner::Packing { .. } => PupMode::Packing,
+            Inner::Unpacking { .. } => PupMode::Unpacking,
+        }
+    }
+
+    /// True when deserializing (Charm++'s `p.isUnpacking()`); lets a `pup`
+    /// body allocate or rebuild caches only on the restore path.
+    pub fn is_unpacking(&self) -> bool {
+        matches!(self.inner, Inner::Unpacking { .. })
+    }
+
+    /// True when computing sizes.
+    pub fn is_sizing(&self) -> bool {
+        matches!(self.inner, Inner::Sizing { .. })
+    }
+
+    /// True when serializing.
+    pub fn is_packing(&self) -> bool {
+        matches!(self.inner, Inner::Packing { .. })
+    }
+
+    /// The byte count accumulated so far (sizing mode), written (packing
+    /// mode), or consumed (unpacking mode).
+    pub fn size(&self) -> usize {
+        match &self.inner {
+            Inner::Sizing { size } => *size,
+            Inner::Packing { buf } => buf.len(),
+            Inner::Unpacking { pos, .. } => *pos,
+        }
+    }
+
+    /// Number of unread bytes remaining (unpacking mode only; 0 otherwise).
+    pub fn remaining(&self) -> usize {
+        match &self.inner {
+            Inner::Unpacking { data, pos } => data.len() - *pos,
+            _ => 0,
+        }
+    }
+
+    /// Consume the puper, returning the packed bytes (packing mode only).
+    ///
+    /// # Panics
+    /// Panics if the puper is not in packing mode.
+    pub fn into_bytes(self) -> Vec<u8> {
+        match self.inner {
+            Inner::Packing { buf } => buf,
+            _ => panic!("Puper::into_bytes called on a non-packing puper"),
+        }
+    }
+
+    /// The raw-byte primitive every other operation reduces to.
+    ///
+    /// Sizing adds `bytes.len()`; packing appends; unpacking fills `bytes`
+    /// from the stream.
+    ///
+    /// # Panics
+    /// Panics on unpacking underflow (malformed/truncated stream).
+    pub fn bytes(&mut self, bytes: &mut [u8]) {
+        match &mut self.inner {
+            Inner::Sizing { size } => *size += bytes.len(),
+            Inner::Packing { buf } => buf.extend_from_slice(bytes),
+            Inner::Unpacking { data, pos } => {
+                let end = *pos + bytes.len();
+                assert!(
+                    end <= data.len(),
+                    "PUP stream underflow: need {} bytes at offset {}, only {} available",
+                    bytes.len(),
+                    pos,
+                    data.len()
+                );
+                bytes.copy_from_slice(&data[*pos..end]);
+                *pos = end;
+            }
+        }
+    }
+
+    /// Pup a single value — the idiomatic equivalent of Charm++'s `p | foo`.
+    #[inline]
+    pub fn p<T: Pup + ?Sized>(&mut self, v: &mut T) {
+        v.pup(self);
+    }
+
+    /// Pup a length-prefixed run of raw bytes (fast path for `Vec<u8>`-like
+    /// payloads; avoids element-at-a-time traversal).
+    pub fn raw(&mut self, v: &mut Vec<u8>) {
+        let mut len = v.len() as u64;
+        self.p(&mut len);
+        if self.is_unpacking() {
+            v.clear();
+            v.resize(len as usize, 0);
+        }
+        self.bytes(v.as_mut_slice());
+    }
+}
+
+/// Types that can be packed and unpacked by a [`Puper`].
+///
+/// Implementations must traverse exactly the same fields in the same order
+/// in every mode; the helpers in this crate (and the
+/// [`impl_pup_struct!`](crate::impl_pup_struct) macro) make that automatic.
+pub trait Pup {
+    /// Drive this object's state through the puper.
+    fn pup(&mut self, p: &mut Puper);
+}
+
+/// Pup a fixed-size array in place (Charm++'s `PUParray`).
+pub fn pup_array<T: Pup, const N: usize>(p: &mut Puper, arr: &mut [T; N]) {
+    for v in arr.iter_mut() {
+        v.pup(p);
+    }
+}
+
+/// Pup every element of a mutable slice (the slice length is *not* encoded;
+/// callers must know it, as with `PUParray`).
+pub fn pup_slice<T: Pup>(p: &mut Puper, s: &mut [T]) {
+    for v in s.iter_mut() {
+        v.pup(p);
+    }
+}
+
+/// Compute the packed size of `v` without serializing it.
+pub fn packed_size<T: Pup + ?Sized>(v: &mut T) -> usize {
+    let mut p = Puper::sizer();
+    v.pup(&mut p);
+    p.size()
+}
+
+/// Serialize `v` to bytes (sizing pass first so the buffer is exact-fit).
+pub fn to_bytes<T: Pup + ?Sized>(v: &mut T) -> Vec<u8> {
+    let n = packed_size(v);
+    let mut p = Puper::packer(n);
+    v.pup(&mut p);
+    p.into_bytes()
+}
+
+/// Deserialize a `T` from bytes produced by [`to_bytes`].
+///
+/// # Panics
+/// Panics if the stream is truncated or structurally invalid for `T`.
+pub fn from_bytes<T: Pup + Default>(bytes: &[u8]) -> T {
+    let mut v = T::default();
+    let mut p = Puper::unpacker_from(bytes);
+    v.pup(&mut p);
+    v
+}
+
+/// Like [`from_bytes`] but verifies the entire stream was consumed,
+/// returning an error message otherwise. Used when restoring checkpoints.
+pub fn from_bytes_exact<T: Pup + Default>(bytes: &[u8]) -> Result<T, String> {
+    let mut v = T::default();
+    let mut p = Puper::unpacker_from(bytes);
+    v.pup(&mut p);
+    if p.remaining() != 0 {
+        return Err(format!(
+            "PUP stream has {} trailing bytes after unpacking {}",
+            p.remaining(),
+            std::any::type_name::<T>()
+        ));
+    }
+    Ok(v)
+}
+
+/// Round-trip a value through pack/unpack — a convenient migration
+/// simulation used heavily in tests.
+pub fn roundtrip<T: Pup + Default>(v: &mut T) -> T {
+    let bytes = to_bytes(v);
+    from_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{BTreeMap, HashMap, VecDeque};
+
+    #[derive(Default, Debug, PartialEq, Clone)]
+    struct Nested {
+        id: u64,
+        name: String,
+        weights: Vec<f64>,
+        flags: Option<Vec<bool>>,
+        table: BTreeMap<u32, String>,
+    }
+
+    impl Pup for Nested {
+        fn pup(&mut self, p: &mut Puper) {
+            p.p(&mut self.id);
+            p.p(&mut self.name);
+            p.p(&mut self.weights);
+            p.p(&mut self.flags);
+            p.p(&mut self.table);
+        }
+    }
+
+    #[test]
+    fn sizer_matches_packer() {
+        let mut n = Nested {
+            id: 42,
+            name: "chare".into(),
+            weights: vec![1.5, -2.5, 3.25],
+            flags: Some(vec![true, false]),
+            table: [(1, "a".to_string()), (9, "b".to_string())].into(),
+        };
+        assert_eq!(packed_size(&mut n), to_bytes(&mut n).len());
+    }
+
+    #[test]
+    fn roundtrip_nested() {
+        let mut n = Nested {
+            id: 7,
+            name: "x".into(),
+            weights: vec![0.0; 17],
+            flags: None,
+            table: BTreeMap::new(),
+        };
+        assert_eq!(roundtrip(&mut n), n);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        macro_rules! check {
+            ($($v:expr => $t:ty),* $(,)?) => {$(
+                let mut x: $t = $v;
+                assert_eq!(roundtrip(&mut x), x, "type {}", stringify!($t));
+            )*}
+        }
+        check!(
+            -5i8 => i8, 250u8 => u8, -1234i16 => i16, 65000u16 => u16,
+            -7i32 => i32, 4_000_000_000u32 => u32,
+            i64::MIN => i64, u64::MAX => u64,
+            -3isize => isize, 99usize => usize,
+            1.25f32 => f32, -2.5e300f64 => f64,
+            true => bool, false => bool, 'λ' => char,
+            () => (),
+        );
+    }
+
+    #[test]
+    fn tuples_and_arrays() {
+        let mut t = (1u8, -2i32, 3.5f64, "four".to_string());
+        assert_eq!(roundtrip(&mut t), t);
+        let mut a = [9u32; 6];
+        assert_eq!(roundtrip(&mut a), a);
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let mut v: Vec<String> = vec!["a".into(), "bb".into()];
+        assert_eq!(roundtrip(&mut v), v);
+        let mut d: VecDeque<i32> = (0..10).collect();
+        assert_eq!(roundtrip(&mut d), d);
+        let mut h: HashMap<String, u64> = [("k".to_string(), 1u64)].into();
+        assert_eq!(roundtrip(&mut h), h);
+        let mut b: Box<i64> = Box::new(-12);
+        assert_eq!(roundtrip(&mut b), b);
+    }
+
+    #[test]
+    fn option_variants() {
+        let mut s: Option<u32> = Some(5);
+        assert_eq!(roundtrip(&mut s), Some(5));
+        let mut n: Option<u32> = None;
+        assert_eq!(roundtrip(&mut n), None);
+    }
+
+    #[test]
+    fn raw_bytes_fast_path() {
+        let mut v: Vec<u8> = (0..=255).collect();
+        let mut p = Puper::packer(0);
+        p.raw(&mut v);
+        let bytes = p.into_bytes();
+        assert_eq!(bytes.len(), 8 + 256);
+        let mut out = Vec::new();
+        let mut u = Puper::unpacker(bytes);
+        u.raw(&mut out);
+        assert_eq!(out, v);
+    }
+
+    #[test]
+    fn from_bytes_exact_detects_trailing_garbage() {
+        let mut x = 1u32;
+        let mut bytes = to_bytes(&mut x);
+        bytes.push(0xFF);
+        assert!(from_bytes_exact::<u32>(&bytes).is_err());
+        bytes.pop();
+        assert_eq!(from_bytes_exact::<u32>(&bytes).unwrap(), 1u32);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn truncated_stream_panics() {
+        let mut x = 0u64;
+        let bytes = to_bytes(&mut x);
+        let _: u64 = from_bytes(&bytes[..4]);
+    }
+
+    #[test]
+    fn is_unpacking_gates_rebuild() {
+        #[derive(Default)]
+        struct Cached {
+            data: Vec<i32>,
+            sum: i64, // derived, rebuilt on unpack
+        }
+        impl Pup for Cached {
+            fn pup(&mut self, p: &mut Puper) {
+                p.p(&mut self.data);
+                if p.is_unpacking() {
+                    self.sum = self.data.iter().map(|&x| x as i64).sum();
+                }
+            }
+        }
+        let mut c = Cached {
+            data: vec![1, 2, 3],
+            sum: 6,
+        };
+        let r: Cached = roundtrip(&mut c);
+        assert_eq!(r.sum, 6);
+    }
+
+    #[test]
+    fn macro_generated_impl() {
+        #[derive(Default, Debug, PartialEq)]
+        struct M {
+            a: i32,
+            b: Vec<u16>,
+        }
+        crate::impl_pup_struct!(M { a, b });
+        let mut m = M {
+            a: -3,
+            b: vec![7, 8],
+        };
+        assert_eq!(roundtrip(&mut m), m);
+    }
+}

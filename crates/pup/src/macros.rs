@@ -1,0 +1,103 @@
+//! Macros that generate `Pup` implementations, standing in for the code the
+//! Charm++ `.ci`-file translator would emit.
+
+/// Implement [`Pup`](crate::Pup) for a struct by listing its fields, e.g.
+///
+/// ```
+/// #[derive(Default)]
+/// struct Particle { x: f64, y: f64, z: f64, mass: f64 }
+/// charm_pup::impl_pup_struct!(Particle { x, y, z, mass });
+/// ```
+#[macro_export]
+macro_rules! impl_pup_struct {
+    ($ty:ty { $($field:ident),* $(,)? }) => {
+        impl $crate::Pup for $ty {
+            fn pup(&mut self, p: &mut $crate::Puper) {
+                $(p.p(&mut self.$field);)*
+            }
+        }
+    };
+}
+
+/// Implement [`Pup`](crate::Pup) for a field-less (C-like) enum with a
+/// `Default` variant, encoding it as its `u32` discriminant.
+///
+/// ```
+/// #[derive(Default, Clone, Copy, PartialEq, Debug)]
+/// enum Phase { #[default] Idle, Compute, Exchange }
+/// charm_pup::impl_pup_unit_enum!(Phase { Idle, Compute, Exchange });
+/// ```
+#[macro_export]
+macro_rules! impl_pup_unit_enum {
+    ($ty:ident { $($variant:ident),* $(,)? }) => {
+        impl $crate::Pup for $ty {
+            fn pup(&mut self, p: &mut $crate::Puper) {
+                #[allow(unused_assignments)]
+                let mut tag: u32 = 0;
+                let mut i: u32 = 0;
+                $(
+                    if matches!(self, $ty::$variant) { tag = i; }
+                    i += 1;
+                )*
+                let _ = i;
+                p.p(&mut tag);
+                if p.is_unpacking() {
+                    let mut j: u32 = 0;
+                    $(
+                        if tag == j { *self = $ty::$variant; }
+                        j += 1;
+                    )*
+                    let _ = j;
+                }
+            }
+        }
+    };
+}
+
+/// Pup a sequence of fields through a puper: `pup_all!(p; self.a, self.b)`.
+#[macro_export]
+macro_rules! pup_all {
+    ($p:expr; $($field:expr),* $(,)?) => {
+        $($p.p(&mut $field);)*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::roundtrip;
+
+    #[test]
+    fn unit_enum_roundtrip() {
+        #[derive(Default, Clone, Copy, PartialEq, Debug)]
+        enum Phase {
+            #[default]
+            Idle,
+            Compute,
+            Exchange,
+        }
+        crate::impl_pup_unit_enum!(Phase { Idle, Compute, Exchange });
+
+        for mut ph in [Phase::Idle, Phase::Compute, Phase::Exchange] {
+            assert_eq!(roundtrip(&mut ph), ph);
+        }
+    }
+
+    #[test]
+    fn pup_all_macro() {
+        #[derive(Default, Debug, PartialEq)]
+        struct S {
+            a: u8,
+            b: String,
+        }
+        impl crate::Pup for S {
+            fn pup(&mut self, p: &mut crate::Puper) {
+                crate::pup_all!(p; self.a, self.b);
+            }
+        }
+        let mut s = S {
+            a: 1,
+            b: "z".into(),
+        };
+        assert_eq!(roundtrip(&mut s), s);
+    }
+}

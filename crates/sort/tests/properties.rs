@@ -1,0 +1,64 @@
+//! Property tests: both parallel sorts agree with `slice::sort` on
+//! arbitrary inputs and arbitrary PE counts.
+
+use charm_core::Runtime;
+use charm_machine::MachineConfig;
+use charm_sort::{hist_sort, mpi_multiway, verify_sorted};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn hist_sort_is_a_sort(
+        num_pes in 1usize..9,
+        keys in vec(vec(any::<u64>(), 0..120), 1..9),
+    ) {
+        let mut per_pe: Vec<Vec<u64>> = vec![Vec::new(); num_pes];
+        for (i, k) in keys.into_iter().enumerate() {
+            per_pe[i % num_pes].extend(k);
+        }
+        let orig = per_pe.clone();
+        let mut rt = Runtime::homogeneous(num_pes);
+        let r = hist_sort(&mut rt, per_pe, 0.1);
+        prop_assert!(verify_sorted(&orig, &r.buckets).is_ok());
+        let flat: Vec<u64> = r.buckets.iter().flatten().copied().collect();
+        let mut expect: Vec<u64> = orig.iter().flatten().copied().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(flat, expect);
+    }
+
+    #[test]
+    fn multiway_is_a_sort(
+        num_pes in 1usize..9,
+        keys in vec(vec(any::<u64>(), 0..120), 1..9),
+    ) {
+        let mut per_pe: Vec<Vec<u64>> = vec![Vec::new(); num_pes];
+        for (i, k) in keys.into_iter().enumerate() {
+            per_pe[i % num_pes].extend(k);
+        }
+        let orig = per_pe.clone();
+        let m = MachineConfig::homogeneous(num_pes);
+        let r = mpi_multiway(&m, per_pe);
+        prop_assert!(verify_sorted(&orig, &r.buckets).is_ok());
+    }
+
+    #[test]
+    fn both_sorts_agree_on_flat_output(
+        keys in vec(any::<u64>(), 0..400),
+    ) {
+        let num_pes = 4usize;
+        let mut per_pe: Vec<Vec<u64>> = vec![Vec::new(); num_pes];
+        for (i, k) in keys.iter().enumerate() {
+            per_pe[i % num_pes].push(*k);
+        }
+        let mut rt = Runtime::homogeneous(num_pes);
+        let a = hist_sort(&mut rt, per_pe.clone(), 0.1);
+        let m = MachineConfig::homogeneous(num_pes);
+        let b = mpi_multiway(&m, per_pe);
+        let fa: Vec<u64> = a.buckets.iter().flatten().copied().collect();
+        let fb: Vec<u64> = b.buckets.iter().flatten().copied().collect();
+        prop_assert_eq!(fa, fb);
+    }
+}

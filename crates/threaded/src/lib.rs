@@ -1,0 +1,548 @@
+//! # charm-threaded — the chare model on real OS threads
+//!
+//! The simulator in `charm-core` reproduces the paper's *measurements*; this
+//! crate demonstrates the same programming model with *genuine parallelism*:
+//! message-driven actors over a pool of worker threads, over-decomposition
+//! (many more actors than workers), actor migration between workers, and
+//! measurement-based rebalancing. Rust's `Send` bounds make the usual
+//! pitfalls (sharing a chare between two schedulers, racing a migration
+//! against a delivery) compile-time errors — data-race freedom by
+//! construction, per the concurrency guides.
+//!
+//! Scope: the laptop-scale companion for examples and speedup demos — sends,
+//! sum-reductions, quiescence-style drain, migration, and a greedy
+//! measured-load rebalancer. The simulated machine models (network, thermal,
+//! failures) belong to `charm-core`.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Identity of an actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActorId(pub u64);
+
+/// A message-driven object executing on the thread pool.
+pub trait Actor: Send + 'static {
+    /// Message type.
+    type Msg: Send + 'static;
+    /// Entry method.
+    fn on_message(&mut self, msg: Self::Msg, ctx: &mut TCtx<'_>);
+}
+
+trait AnyActor: Send {
+    fn deliver(&mut self, msg: Box<dyn Any + Send>, ctx: &mut TCtx<'_>);
+}
+
+struct ActorBox<A: Actor>(A);
+
+impl<A: Actor> AnyActor for ActorBox<A> {
+    fn deliver(&mut self, msg: Box<dyn Any + Send>, ctx: &mut TCtx<'_>) {
+        let msg = *msg
+            .downcast::<A::Msg>()
+            .unwrap_or_else(|_| panic!("message type mismatch for actor {}", ctx.self_id.0));
+        self.0.on_message(msg, ctx);
+    }
+}
+
+/// Per-actor measurements (drives the rebalancer).
+#[derive(Default)]
+struct ActorStats {
+    busy_ns: AtomicU64,
+    msgs: AtomicU64,
+}
+
+enum Task {
+    /// A user message for an actor.
+    Deliver(ActorId, Box<dyn Any + Send>),
+    /// An actor's state arriving at its (new) worker.
+    Settle(ActorId, Box<dyn AnyActor>, Arc<ActorStats>),
+    /// Re-examine an actor (applies pending rebalancer moves).
+    Nudge(ActorId),
+    /// Shut the worker down.
+    Stop,
+}
+
+struct RedInProgress {
+    expected: usize,
+    count: usize,
+    acc: f64,
+    done: Sender<f64>,
+}
+
+struct Shared {
+    locations: RwLock<HashMap<ActorId, usize>>,
+    queues: Vec<Sender<Task>>,
+    /// (sent − processed) messages; 0 ⇒ quiescent.
+    in_flight: AtomicI64,
+    stats: RwLock<HashMap<ActorId, Arc<ActorStats>>>,
+    reductions: Mutex<HashMap<u32, RedInProgress>>,
+    /// Rebalancer decisions awaiting application by the owning worker.
+    pending_moves: Mutex<HashMap<ActorId, usize>>,
+    worker_busy_ns: Vec<AtomicU64>,
+}
+
+impl Shared {
+    fn send_erased(&self, to: ActorId, msg: Box<dyn Any + Send>) {
+        let w = *self
+            .locations
+            .read()
+            .get(&to)
+            .unwrap_or_else(|| panic!("send to unknown actor {}", to.0));
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        let _ = self.queues[w].send(Task::Deliver(to, msg));
+    }
+
+    fn contribute(&self, tag: u32, value: f64) {
+        let mut reds = self.reductions.lock();
+        let entry = reds
+            .get_mut(&tag)
+            .unwrap_or_else(|| panic!("contribution to unregistered reduction {tag}"));
+        entry.count += 1;
+        entry.acc += value;
+        if entry.count >= entry.expected {
+            let r = reds.remove(&tag).expect("present");
+            let _ = r.done.send(r.acc);
+        }
+    }
+}
+
+/// Context passed to [`Actor::on_message`].
+pub struct TCtx<'a> {
+    shared: &'a Arc<Shared>,
+    self_id: ActorId,
+    worker: usize,
+    migrate_to: Option<usize>,
+}
+
+impl<'a> TCtx<'a> {
+    /// This actor's id.
+    pub fn my_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// The worker thread currently running this actor.
+    pub fn my_worker(&self) -> usize {
+        self.worker
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// Asynchronously invoke actor `to` with `msg`.
+    pub fn send<A: Actor>(&mut self, to: ActorId, msg: A::Msg) {
+        self.shared.send_erased(to, Box::new(msg));
+    }
+
+    /// Contribute `value` to reduction `tag` (registered on the runtime).
+    pub fn contribute(&mut self, tag: u32, value: f64) {
+        self.shared.contribute(tag, value);
+    }
+
+    /// Migrate this actor to `worker` once the current entry returns.
+    pub fn migrate_me(&mut self, worker: usize) {
+        if worker < self.shared.queues.len() {
+            self.migrate_to = Some(worker);
+        }
+    }
+}
+
+/// A pool of worker threads executing actors.
+pub struct ThreadedRuntime {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    next_id: u64,
+    started: Instant,
+}
+
+impl ThreadedRuntime {
+    /// Spin up `workers` threads.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1);
+        let mut queues = Vec::with_capacity(workers);
+        let mut receivers = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = unbounded();
+            queues.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Arc::new(Shared {
+            locations: RwLock::new(HashMap::new()),
+            queues,
+            in_flight: AtomicI64::new(0),
+            stats: RwLock::new(HashMap::new()),
+            reductions: Mutex::new(HashMap::new()),
+            pending_moves: Mutex::new(HashMap::new()),
+            worker_busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        });
+        let handles = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(w, rx)| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(w, rx, shared))
+            })
+            .collect();
+        ThreadedRuntime {
+            shared,
+            handles,
+            next_id: 0,
+            started: Instant::now(),
+        }
+    }
+
+    /// Create an actor on a worker (round-robin when `worker` is None).
+    pub fn spawn<A: Actor>(&mut self, actor: A, worker: Option<usize>) -> ActorId {
+        let id = ActorId(self.next_id);
+        self.next_id += 1;
+        let w = worker.unwrap_or(id.0 as usize % self.shared.queues.len());
+        assert!(w < self.shared.queues.len(), "worker {w} out of range");
+        let stats = Arc::new(ActorStats::default());
+        self.shared.locations.write().insert(id, w);
+        self.shared.stats.write().insert(id, Arc::clone(&stats));
+        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.shared.queues[w]
+            .send(Task::Settle(id, Box::new(ActorBox(actor)), stats))
+            .expect("worker alive");
+        id
+    }
+
+    /// Send a message from the host.
+    pub fn send<A: Actor>(&self, to: ActorId, msg: A::Msg) {
+        self.shared.send_erased(to, Box::new(msg));
+    }
+
+    /// Register a sum-reduction over `expected` contributions; the returned
+    /// receiver yields the total.
+    pub fn reduction(&self, tag: u32, expected: usize) -> Receiver<f64> {
+        let (tx, rx) = unbounded();
+        let prev = self.shared.reductions.lock().insert(
+            tag,
+            RedInProgress {
+                expected,
+                count: 0,
+                acc: 0.0,
+                done: tx,
+            },
+        );
+        assert!(prev.is_none(), "reduction tag {tag} already active");
+        rx
+    }
+
+    /// Block until no messages are queued or executing, or `timeout`
+    /// expires. Returns true on quiescence.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.shared.in_flight.load(Ordering::SeqCst) != 0 {
+            if Instant::now() > deadline {
+                return false;
+            }
+            std::thread::yield_now();
+        }
+        true
+    }
+
+    /// Measured busy time per worker, nanoseconds.
+    pub fn worker_busy_ns(&self) -> Vec<u64> {
+        self.shared
+            .worker_busy_ns
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Where an actor currently lives.
+    pub fn location(&self, id: ActorId) -> Option<usize> {
+        self.shared.locations.read().get(&id).copied()
+    }
+
+    /// Wall-clock since construction.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Greedy rebalance by measured per-actor busy time (heaviest first to
+    /// the least-loaded worker). Call at a quiescent point. Returns the
+    /// number of migrations initiated.
+    pub fn rebalance(&self) -> usize {
+        let stats = self.shared.stats.read();
+        let locs = self.shared.locations.read();
+        let mut items: Vec<(ActorId, usize, u64)> = stats
+            .iter()
+            .filter_map(|(&id, s)| {
+                locs.get(&id)
+                    .map(|&w| (id, w, s.busy_ns.load(Ordering::Relaxed).max(1)))
+            })
+            .collect();
+        drop(locs);
+        drop(stats);
+        items.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+        let workers = self.shared.queues.len();
+        let mut load = vec![0u64; workers];
+        let mut moves = 0usize;
+        let mut pending = self.shared.pending_moves.lock();
+        for (id, cur, busy) in items {
+            let w = (0..workers).min_by_key(|&w| load[w]).expect("workers >= 1");
+            load[w] += busy;
+            if w != cur {
+                moves += 1;
+                pending.insert(id, w);
+                self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                let _ = self.shared.queues[cur].send(Task::Nudge(id));
+            }
+        }
+        moves
+    }
+}
+
+impl Drop for ThreadedRuntime {
+    fn drop(&mut self) {
+        for q in &self.shared.queues {
+            let _ = q.send(Task::Stop);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(me: usize, rx: Receiver<Task>, shared: Arc<Shared>) {
+    let mut local: HashMap<ActorId, (Box<dyn AnyActor>, Arc<ActorStats>)> = HashMap::new();
+    while let Ok(task) = rx.recv() {
+        match task {
+            Task::Stop => return,
+            Task::Settle(id, actor, stats) => {
+                local.insert(id, (actor, stats));
+                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+            Task::Nudge(id) => {
+                match local.remove(&id) {
+                    Some((actor, stats)) => {
+                        if let Some(t) = shared.pending_moves.lock().remove(&id) {
+                            if t != me {
+                                shared.locations.write().insert(id, t);
+                                // The Nudge's in-flight slot is inherited by
+                                // the Settle (decremented on arrival).
+                                let _ = shared.queues[t].send(Task::Settle(id, actor, stats));
+                                continue;
+                            }
+                            local.insert(id, (actor, stats));
+                        } else {
+                            local.insert(id, (actor, stats));
+                        }
+                        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    None => {
+                        // Actor moved or still in transit: chase it.
+                        let w = shared.locations.read().get(&id).copied().unwrap_or(me);
+                        let _ = shared.queues[w].send(Task::Nudge(id));
+                    }
+                }
+            }
+            Task::Deliver(id, msg) => {
+                match local.get_mut(&id) {
+                    None => {
+                        // Stale route or in transit: forward to the current
+                        // owner (or requeue locally behind a pending Settle).
+                        let w = shared.locations.read().get(&id).copied().unwrap_or(me);
+                        let _ = shared.queues[w].send(Task::Deliver(id, msg));
+                    }
+                    Some((actor, stats)) => {
+                        let mut ctx = TCtx {
+                            shared: &shared,
+                            self_id: id,
+                            worker: me,
+                            migrate_to: None,
+                        };
+                        let t0 = Instant::now();
+                        actor.deliver(msg, &mut ctx);
+                        let dt = t0.elapsed().as_nanos() as u64;
+                        stats.busy_ns.fetch_add(dt, Ordering::Relaxed);
+                        stats.msgs.fetch_add(1, Ordering::Relaxed);
+                        shared.worker_busy_ns[me].fetch_add(dt, Ordering::Relaxed);
+                        let migrate = ctx.migrate_to;
+                        if let Some(t) = migrate {
+                            if t != me {
+                                let (actor, stats) = local.remove(&id).expect("just used");
+                                shared.locations.write().insert(id, t);
+                                // Settle inherits this Deliver's in-flight
+                                // slot; decremented when it lands.
+                                let _ = shared.queues[t].send(Task::Settle(id, actor, stats));
+                                continue;
+                            }
+                        }
+                        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Spins for roughly `n` iterations of real work.
+    fn spin(n: u64) -> u64 {
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for i in 0..n {
+            x = x.rotate_left(17).wrapping_mul(i | 1);
+        }
+        std::hint::black_box(x)
+    }
+
+    struct Counter {
+        hits: u64,
+        spin_iters: u64,
+    }
+    impl Actor for Counter {
+        type Msg = u64;
+        fn on_message(&mut self, m: u64, ctx: &mut TCtx<'_>) {
+            self.hits += 1;
+            spin(self.spin_iters);
+            if m == u64::MAX {
+                ctx.contribute(1, self.hits as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn messages_all_arrive() {
+        let mut rt = ThreadedRuntime::new(4);
+        let ids: Vec<ActorId> = (0..16)
+            .map(|_| rt.spawn(Counter { hits: 0, spin_iters: 10 }, None))
+            .collect();
+        let rx = rt.reduction(1, ids.len());
+        for &id in &ids {
+            for _ in 0..9 {
+                rt.send::<Counter>(id, 0);
+            }
+        }
+        for &id in &ids {
+            rt.send::<Counter>(id, u64::MAX);
+        }
+        let total = rx.recv_timeout(Duration::from_secs(10)).expect("reduction");
+        assert_eq!(total, (16 * 10) as f64);
+        assert!(rt.drain(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn real_parallel_speedup() {
+        // Genuine multicore speedup on CPU-bound actors.
+        let run = |workers: usize| {
+            let mut rt = ThreadedRuntime::new(workers);
+            let ids: Vec<ActorId> = (0..8)
+                .map(|_| rt.spawn(Counter { hits: 0, spin_iters: 3_000_000 }, None))
+                .collect();
+            let t0 = Instant::now();
+            let rx = rt.reduction(1, ids.len());
+            for &id in &ids {
+                rt.send::<Counter>(id, 0);
+                rt.send::<Counter>(id, u64::MAX);
+            }
+            rx.recv_timeout(Duration::from_secs(60)).expect("done");
+            t0.elapsed()
+        };
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let t1 = run(1);
+        let t4 = run(4);
+        if cores >= 4 {
+            assert!(
+                t4 < t1 * 3 / 4,
+                "4 workers should beat 1 by a wide margin: t1={t1:?} t4={t4:?}"
+            );
+        } else if cores >= 2 {
+            assert!(t4 < t1, "more workers must not be slower: t1={t1:?} t4={t4:?}");
+        } else {
+            // Single-core host: only assert absence of pathological
+            // slowdown from the threading machinery itself.
+            assert!(
+                t4 < t1 * 2,
+                "single-core overhead bounded: t1={t1:?} t4={t4:?}"
+            );
+        }
+    }
+
+    struct Hopper;
+    impl Actor for Hopper {
+        type Msg = usize;
+        fn on_message(&mut self, target: usize, ctx: &mut TCtx<'_>) {
+            ctx.migrate_me(target);
+        }
+    }
+
+    #[test]
+    fn migration_moves_actors() {
+        let mut rt = ThreadedRuntime::new(4);
+        let id = rt.spawn(Hopper, Some(0));
+        assert!(rt.drain(Duration::from_secs(5)));
+        assert_eq!(rt.location(id), Some(0));
+        rt.send::<Hopper>(id, 3);
+        assert!(rt.drain(Duration::from_secs(5)));
+        assert_eq!(rt.location(id), Some(3));
+        // Messages delivered after migration still arrive (forwarding).
+        rt.send::<Hopper>(id, 1);
+        assert!(rt.drain(Duration::from_secs(5)));
+        assert_eq!(rt.location(id), Some(1));
+    }
+
+    #[test]
+    fn rebalance_spreads_hot_actors() {
+        let mut rt = ThreadedRuntime::new(4);
+        // All actors piled on worker 0.
+        let ids: Vec<ActorId> = (0..8)
+            .map(|_| rt.spawn(Counter { hits: 0, spin_iters: 400_000 }, Some(0)))
+            .collect();
+        let rx = rt.reduction(1, ids.len());
+        for &id in &ids {
+            rt.send::<Counter>(id, 0);
+            rt.send::<Counter>(id, u64::MAX);
+        }
+        rx.recv_timeout(Duration::from_secs(30)).expect("warmup");
+        assert!(rt.drain(Duration::from_secs(5)));
+        let moves = rt.rebalance();
+        assert!(rt.drain(Duration::from_secs(5)));
+        assert!(moves >= 4, "most actors should move off worker 0: {moves}");
+        let mut by_worker = [0usize; 4];
+        for &id in &ids {
+            by_worker[rt.location(id).expect("alive")] += 1;
+        }
+        assert!(
+            by_worker.iter().all(|&c| c >= 1),
+            "actors spread: {by_worker:?}"
+        );
+    }
+
+    #[test]
+    fn send_to_unknown_actor_panics() {
+        let rt = ThreadedRuntime::new(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.send::<Counter>(ActorId(999), 0);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn clean_shutdown_under_load() {
+        let mut rt = ThreadedRuntime::new(4);
+        let ids: Vec<ActorId> = (0..32)
+            .map(|_| rt.spawn(Counter { hits: 0, spin_iters: 1000 }, None))
+            .collect();
+        for &id in &ids {
+            for _ in 0..50 {
+                rt.send::<Counter>(id, 0);
+            }
+        }
+        assert!(rt.drain(Duration::from_secs(30)));
+        drop(rt); // must join without hanging
+    }
+}

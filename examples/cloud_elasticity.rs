@@ -1,0 +1,79 @@
+//! HPC in the cloud (§IV-F) + malleability (§III-D) in one run: a
+//! Stencil2D job on slow Ethernet suffers an interfering VM; RTS-triggered
+//! load balancing absorbs it. Then a LeanMD job shrinks from 32 to 16 PEs
+//! and expands back, paying only the reconfiguration spikes.
+//!
+//! ```sh
+//! cargo run --release --example cloud_elasticity
+//! ```
+
+use charm_rs::apps::leanmd::{run_with_runtime, LeanMdConfig};
+use charm_rs::apps::stencil::{run, StencilConfig};
+use charm_rs::machine::{presets, InterferenceWindow};
+use charm_rs::SimTime;
+
+fn main() {
+    // ---- interference + heterogeneity-aware LB -----------------------------
+    println!("Stencil2D on 16 cloud VMs; a noisy neighbor lands on VM 0 at t=40ms:");
+    let mk = |with_lb: bool| {
+        let mut machine = presets::cloud(16);
+        machine.speed = machine.speed.clone().with_interference(InterferenceWindow {
+            first_pe: 0,
+            num_pes: 1,
+            start: SimTime::from_millis(40),
+            end: SimTime::MAX,
+            speed_factor: 0.4,
+        });
+        let mut c = StencilConfig::cloud_4k(machine, 4);
+        c.blocks_per_side = 8;
+        c.steps = 40;
+        if with_lb {
+            c.strategy = Some(Box::new(charm_lb::RefineLb::default()));
+            c.lb_period = Some(SimTime::from_millis(30));
+        }
+        c
+    };
+    let nolb = run(mk(false));
+    let lb = run(mk(true));
+    let tail = |r: &charm_rs::apps::AppRun| {
+        let d = r.step_durations();
+        d[d.len() - 5..].iter().sum::<f64>() / 5.0
+    };
+    println!(
+        "  steady iteration time: no LB {:.2} ms; RTS-triggered LB {:.2} ms ({} rounds)",
+        tail(&nolb) * 1e3,
+        tail(&lb) * 1e3,
+        lb.lb_rounds
+    );
+    assert!(tail(&lb) < tail(&nolb));
+
+    // ---- shrink / expand ----------------------------------------------------
+    println!("LeanMD shrink 32->16->32 (CCS-style commands):");
+    let (run, rt) = run_with_runtime(LeanMdConfig {
+        machine: presets::stampede(32),
+        cells_per_dim: 6,
+        atoms_per_cell: 80,
+        density_peak: 1.0,
+        steps: 260,
+        lb_every: 20,
+        strategy: Some(Box::new(charm_lb::GreedyLb)),
+        reconfigure: vec![
+            (SimTime::from_millis(300), 16),
+            (SimTime::from_secs_f64(2.0), 32),
+        ],
+        ..LeanMdConfig::default()
+    });
+    for (i, &(at, cost)) in rt.metric("reconfigure_cost_s").iter().enumerate() {
+        println!(
+            "  {} at t={at:.2}s cost {cost:.2}s",
+            if i == 0 { "shrink" } else { "expand" }
+        );
+    }
+    println!(
+        "  completed {} iterations across both reconfigurations; final PEs = {}",
+        run.step_times.len(),
+        rt.num_pes()
+    );
+    assert_eq!(rt.num_pes(), 32);
+    println!("cloud_elasticity OK");
+}

@@ -1,0 +1,145 @@
+//! Fault tolerance end to end (§III-B): an iterative application takes a
+//! double in-memory checkpoint, a node is killed mid-run, and the runtime
+//! rolls everything back and finishes the job — plus a disk checkpoint
+//! restarted on a *different* number of PEs.
+//!
+//! ```sh
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use charm_rs::{
+    ArrayProxy, Callback, Chare, Ctx, Ix, Pup, Puper, RedOp, RedValue, Runtime, SimTime, SysEvent,
+};
+
+const WORKERS: i64 = 32;
+const TARGET: u64 = 12;
+
+#[derive(Default)]
+struct Worker {
+    done: u64,
+}
+impl Pup for Worker {
+    fn pup(&mut self, p: &mut Puper) {
+        p.p(&mut self.done);
+    }
+}
+impl Chare for Worker {
+    type Msg = u64;
+    fn on_message(&mut self, step: u64, ctx: &mut Ctx<'_>) {
+        self.done = step + 1;
+        ctx.work(5e6);
+        let me = ArrayProxy::<Worker>::from_id(ctx.my_id().array);
+        ctx.contribute(
+            me,
+            step as u32,
+            RedValue::I64(1),
+            RedOp::Sum,
+            Callback::ToChare {
+                array: charm_rs::core::ArrayId(1),
+                ix: Ix::i1(0),
+            },
+        );
+    }
+}
+
+#[derive(Default)]
+struct Main {
+    step: u64,
+}
+impl Pup for Main {
+    fn pup(&mut self, p: &mut Puper) {
+        p.p(&mut self.step);
+    }
+}
+impl Chare for Main {
+    type Msg = u8;
+    fn on_message(&mut self, _m: u8, _ctx: &mut Ctx<'_>) {}
+    fn on_event(&mut self, ev: SysEvent, ctx: &mut Ctx<'_>) {
+        let workers = ArrayProxy::<Worker>::from_id(charm_rs::core::ArrayId(0));
+        match ev {
+            SysEvent::Reduction { .. } => {
+                self.step += 1;
+                ctx.log_metric("step", self.step as f64);
+                if self.step == 3 {
+                    println!("  [t={:?}] taking double in-memory checkpoint", ctx.now());
+                    ctx.start_mem_checkpoint(ctx.cb_self());
+                } else if self.step < TARGET {
+                    ctx.broadcast(workers, self.step);
+                } else {
+                    ctx.exit();
+                }
+            }
+            SysEvent::CheckpointDone => {
+                println!("  [t={:?}] checkpoint complete; continuing", ctx.now());
+                ctx.broadcast(workers, self.step);
+            }
+            SysEvent::Restarted { failed_pe } => {
+                println!(
+                    "  [t={:?}] PE {failed_pe} crashed; rolled back to step {} — resuming",
+                    ctx.now(),
+                    self.step
+                );
+                ctx.broadcast(workers, self.step);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn build(pes: usize) -> Runtime {
+    let mut rt = Runtime::homogeneous(pes);
+    let workers = rt.create_array::<Worker>("workers");
+    let main = rt.create_array::<Main>("main");
+    for i in 0..WORKERS {
+        rt.insert(workers, Ix::i1(i), Worker::default(), None);
+    }
+    rt.insert(main, Ix::i1(0), Main::default(), Some(0));
+    rt.broadcast(workers, 0u64);
+    rt
+}
+
+fn main() {
+    // ---- in-memory checkpoint + injected failure ---------------------------
+    println!("in-memory checkpoint + failure recovery on 8 PEs:");
+    let mut rt = build(8);
+    rt.schedule_failure(SimTime::from_millis(200), 5);
+    rt.run();
+    let last = rt.metric("step").last().expect("progressed").1;
+    println!(
+        "  finished all {TARGET} steps (last step metric = {last}); \
+         checkpoint took {:.3} ms, restart took {:.3} ms",
+        rt.metric("ckpt_time_s")[0].1 * 1e3,
+        rt.metric("restart_time_s")[0].1 * 1e3
+    );
+    assert_eq!(last as u64, TARGET);
+
+    // ---- disk checkpoint, restart on a different PE count ------------------
+    println!("disk checkpoint: 8 PEs -> restart on 3 PEs:");
+    let dir = std::env::temp_dir().join("charm_rs_example_ckpt");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("ckpt.bin");
+
+    let mut rt = build(8);
+    rt.run_until(SimTime::from_millis(60));
+    let done_steps = rt.metric("step").last().map(|&(_, v)| v as u64).unwrap_or(0);
+    let info = rt.checkpoint_to_disk(&path).expect("write checkpoint");
+    println!(
+        "  wrote {} bytes at step {done_steps} (modeled parallel write: {})",
+        info.bytes, info.virtual_cost
+    );
+
+    let mut rt2 = Runtime::homogeneous(3);
+    rt2.create_array::<Worker>("workers");
+    rt2.create_array::<Main>("main");
+    rt2.restore_from_disk(&path).expect("restore");
+    rt2.broadcast(
+        ArrayProxy::<Worker>::from_id(charm_rs::core::ArrayId(0)),
+        done_steps,
+    );
+    rt2.run();
+    let last2 = rt2.metric("step").last().expect("progressed").1;
+    println!("  restarted on 3 PEs and finished at step {last2}");
+    assert_eq!(last2 as u64, TARGET);
+    std::fs::remove_file(&path).ok();
+    println!("fault_tolerance OK");
+}

@@ -1,0 +1,51 @@
+//! Parallel discrete event simulation with message aggregation — the
+//! paper's PHOLD/YAWNS workload (§IV-E) showing the TRAM crossover: at high
+//! event volume, aggregating fine-grained event messages through a virtual
+//! 2-D grid of PEs beats direct sends.
+//!
+//! ```sh
+//! cargo run --release --example pdes_with_tram
+//! ```
+
+use charm_rs::apps::pdes::{run, PdesConfig};
+use charm_rs::machine::presets;
+use charm_rs::tram::TramConfig;
+use charm_rs::SimTime;
+
+fn config(events_per_lp: usize, tram: bool) -> PdesConfig {
+    PdesConfig {
+        machine: presets::stampede(32),
+        lps_per_pe: 64,
+        initial_events_per_lp: events_per_lp,
+        windows: 14,
+        tram: tram.then(|| TramConfig {
+            ndims: 2,
+            flush_threshold: 64,
+            flush_interval: Some(SimTime::from_micros(30)),
+        }),
+        ..PdesConfig::default()
+    }
+}
+
+fn main() {
+    println!("PHOLD under YAWNS on 32 simulated PEs, 2048 LPs:");
+    for &(label, events) in &[("low volume (4 ev/LP)", 4usize), ("high volume (96 ev/LP)", 96)] {
+        let direct = run(config(events, false));
+        let tram = run(config(events, true));
+        println!(
+            "  {label}: direct {:>6.2}M ev/s vs TRAM {:>6.2}M ev/s  -> {}",
+            direct.event_rate / 1e6,
+            tram.event_rate / 1e6,
+            if tram.event_rate > direct.event_rate {
+                "TRAM wins"
+            } else {
+                "direct wins"
+            }
+        );
+        assert_eq!(
+            direct.events_executed, tram.events_executed,
+            "same events either way"
+        );
+    }
+    println!("(the paper's Fig. 15b crossover: aggregation pays at high volume only)");
+}

@@ -1,0 +1,170 @@
+//! Cross-crate integration tests: the facade crate, interop between host
+//! code and multiple runtime libraries, determinism across the full stack,
+//! and agreement between the simulated and threaded executors.
+
+use charm_rs::sort::{hist_sort, skewed_keys, verify_sorted};
+use charm_rs::{ArrayProxy, Callback, Chare, Ctx, Ix, Pup, Puper, RedOp, RedValue, Runtime, SysEvent};
+
+#[derive(Default)]
+struct Acc {
+    total: i64,
+}
+impl Pup for Acc {
+    fn pup(&mut self, p: &mut Puper) {
+        p.p(&mut self.total);
+    }
+}
+impl Chare for Acc {
+    type Msg = i64;
+    fn on_message(&mut self, v: i64, ctx: &mut Ctx<'_>) {
+        self.total += v;
+        ctx.work(1e4);
+        let me = ArrayProxy::<Acc>::from_id(ctx.my_id().array);
+        ctx.contribute(
+            me,
+            7,
+            RedValue::I64(v),
+            RedOp::Sum,
+            Callback::ToChare {
+                array: ctx.my_id().array,
+                ix: Ix::i1(0),
+            },
+        );
+    }
+    fn on_event(&mut self, ev: SysEvent, ctx: &mut Ctx<'_>) {
+        if let SysEvent::Reduction { value, .. } = ev {
+            ctx.log_metric("acc_total", value.as_i64() as f64);
+        }
+    }
+}
+
+/// The facade re-exports compose into a working program.
+#[test]
+fn facade_end_to_end() {
+    let mut rt = Runtime::homogeneous(4);
+    let arr = rt.create_array::<Acc>("acc");
+    for i in 0..16 {
+        rt.insert(arr, Ix::i1(i), Acc::default(), None);
+    }
+    for i in 0..16 {
+        rt.send(arr, Ix::i1(i), i + 1);
+    }
+    rt.run();
+    let total = rt.metric("acc_total").last().expect("reduced").1;
+    assert_eq!(total as i64, (1..=16).sum::<i64>());
+}
+
+/// Interop (§III-G): one runtime hosts an application *and* serves repeated
+/// sorting-library invocations, with the application's arrays untouched.
+#[test]
+fn interop_sort_inside_an_application_runtime() {
+    let mut rt = Runtime::homogeneous(8);
+    let arr = rt.create_array::<Acc>("acc");
+    for i in 0..8 {
+        rt.insert(arr, Ix::i1(i), Acc::default(), None);
+    }
+    // Application phase.
+    for i in 0..8 {
+        rt.send(arr, Ix::i1(i), 10);
+    }
+    rt.run();
+    rt.clear_exit();
+    let app_total = rt.metric("acc_total").last().expect("phase 1").1;
+
+    // Library phase: two sorts on the same runtime (CharmLibInit pattern).
+    for seed in [1u64, 2] {
+        let keys = skewed_keys(8, 200, seed);
+        let orig = keys.clone();
+        let r = hist_sort(&mut rt, keys, 0.05);
+        verify_sorted(&orig, &r.buckets).expect("library sort valid");
+    }
+
+    // Application continues; its array is intact.
+    for i in 0..8 {
+        rt.send(arr, Ix::i1(i), 1);
+    }
+    rt.run();
+    let app_total2 = rt.metric("acc_total").last().expect("phase 2").1;
+    assert_eq!(app_total as i64, 80);
+    assert_eq!(app_total2 as i64, 8);
+}
+
+/// Whole-stack determinism: LeanMD + HybridLB + checkpoints replay
+/// bit-identically for a fixed seed.
+#[test]
+fn full_stack_determinism() {
+    use charm_rs::apps::leanmd::{run, LeanMdConfig};
+    let mk = || LeanMdConfig {
+        machine: charm_rs::MachineConfig::homogeneous(8),
+        cells_per_dim: 5,
+        atoms_per_cell: 40,
+        density_peak: 5.0,
+        steps: 8,
+        lb_every: 3,
+        strategy: Some(Box::new(charm_lb::HybridLb::default())),
+        ckpt_at: Some(4),
+        ..LeanMdConfig::default()
+    };
+    let a = run(mk());
+    let b = run(mk());
+    assert_eq!(a.step_times, b.step_times);
+    assert_eq!(a.messages, b.messages);
+}
+
+/// The simulated and threaded executors agree on program results.
+#[test]
+fn simulated_and_threaded_agree() {
+    // Simulated.
+    let mut rt = Runtime::homogeneous(4);
+    let arr = rt.create_array::<Acc>("acc");
+    for i in 0..12 {
+        rt.insert(arr, Ix::i1(i), Acc::default(), None);
+    }
+    for i in 0..12 {
+        rt.send(arr, Ix::i1(i), (i + 1) * (i + 1));
+    }
+    rt.run();
+    let sim = rt.metric("acc_total").last().expect("reduced").1 as i64;
+
+    // Threaded.
+    use charm_rs::threaded::{Actor, TCtx, ThreadedRuntime};
+    struct A;
+    impl Actor for A {
+        type Msg = i64;
+        fn on_message(&mut self, v: i64, ctx: &mut TCtx<'_>) {
+            ctx.contribute(1, v as f64);
+        }
+    }
+    let mut trt = ThreadedRuntime::new(4);
+    let ids: Vec<_> = (0..12).map(|_| trt.spawn(A, None)).collect();
+    let rx = trt.reduction(1, ids.len());
+    for (i, &id) in ids.iter().enumerate() {
+        trt.send::<A>(id, ((i + 1) * (i + 1)) as i64);
+    }
+    let thr = rx
+        .recv_timeout(std::time::Duration::from_secs(10))
+        .expect("threaded reduction") as i64;
+
+    assert_eq!(sim, thr);
+    assert_eq!(sim, (1..=12).map(|i| i * i).sum::<i64>());
+}
+
+/// PUP round-trips compose across crate boundaries (facade types).
+#[test]
+fn pup_across_crates() {
+    let mut ix = Ix::i6([1, 2, 3], [4, 5, 6]);
+    assert_eq!(charm_rs::pup::roundtrip(&mut ix), ix);
+    let mut blob = charm_rs::apps::util::SyntheticBlob::new(5000);
+    assert_eq!(charm_rs::pup::roundtrip(&mut blob), blob);
+}
+
+/// A machine preset drives an app through the facade without surprises.
+#[test]
+fn presets_compose_with_apps() {
+    use charm_rs::apps::stencil::{run, StencilConfig};
+    let mut c = StencilConfig::cloud_4k(charm_rs::machine::presets::cloud(8), 2);
+    c.steps = 5;
+    let r = run(c);
+    assert_eq!(r.step_times.len(), 5);
+    assert!(r.avg_utilization > 0.0);
+}
