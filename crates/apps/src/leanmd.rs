@@ -53,8 +53,13 @@ pub struct LeanMdConfig {
     pub lb_every: u64,
     /// Take an in-memory checkpoint at this step (None = never).
     pub ckpt_at: Option<u64>,
-    /// Inject a PE failure at this virtual time (requires `ckpt_at`).
+    /// Automatic periodic in-memory checkpointing (None = off).
+    pub auto_ckpt: Option<SimTime>,
+    /// Inject a PE failure at this virtual time (requires a checkpoint to
+    /// recover; kept for single-failure callers — see `failures`).
     pub fail_at: Option<(SimTime, usize)>,
+    /// Additional node failures: (virtual time, any PE on the node).
+    pub failures: Vec<(SimTime, usize)>,
     /// Shrink/expand commands: (virtual time, new PE count).
     pub reconfigure: Vec<(SimTime, usize)>,
     /// LB strategy.
@@ -74,7 +79,9 @@ impl Default for LeanMdConfig {
             steps: 10,
             lb_every: 0,
             ckpt_at: None,
+            auto_ckpt: None,
             fail_at: None,
+            failures: Vec::new(),
             reconfigure: Vec::new(),
             strategy: None,
             seed: 42,
@@ -116,6 +123,9 @@ struct Cell {
     computes: ArrayProxy<Compute>,
     driver: ArrayProxy<Driver>,
     waiting_resume: bool,
+    /// Restored from a checkpoint taken mid-step: adopt the driver's step
+    /// from the next `Step` broadcast and drop transient protocol state.
+    rolled_back: bool,
 }
 
 impl Pup for Cell {
@@ -125,7 +135,7 @@ impl Pup for Cell {
             self.c, self.dim, self.atoms, self.cfg_atoms, self.density_peak,
             self.drift, self.step, self.forces_seen, self.early_forces,
             self.data, self.lb_every, self.cells, self.computes, self.driver,
-            self.waiting_resume
+            self.waiting_resume, self.rolled_back
         );
     }
 }
@@ -271,12 +281,27 @@ impl Chare for Cell {
     fn on_message(&mut self, msg: CellMsg, ctx: &mut Ctx<'_>) {
         match msg {
             CellMsg::Step(s) => {
+                if self.rolled_back {
+                    // A checkpoint can land mid-step, capturing cells at
+                    // mixed phases; after a rollback the whole exchange
+                    // re-runs from the driver's step.
+                    self.rolled_back = false;
+                    self.step = s;
+                    self.forces_seen = 0;
+                    self.early_forces = 0;
+                    self.waiting_resume = false;
+                }
                 debug_assert_eq!(s, self.step);
                 self.forces_seen += std::mem::take(&mut self.early_forces);
                 self.start_step(ctx);
                 self.maybe_finish(ctx);
             }
             CellMsg::Forces { step } => {
+                if self.rolled_back {
+                    // No compute can produce forces before our own re-sent
+                    // coords, so anything arriving here is stale.
+                    return;
+                }
                 if step == self.step {
                     self.forces_seen += 1;
                     self.maybe_finish(ctx);
@@ -289,9 +314,13 @@ impl Chare for Cell {
     }
 
     fn on_event(&mut self, ev: SysEvent, ctx: &mut Ctx<'_>) {
-        if matches!(ev, SysEvent::ResumeFromSync) && self.waiting_resume {
-            self.waiting_resume = false;
-            self.contribute_done(ctx);
+        match ev {
+            SysEvent::ResumeFromSync if self.waiting_resume => {
+                self.waiting_resume = false;
+                self.contribute_done(ctx);
+            }
+            SysEvent::Restarted { .. } => self.rolled_back = true,
+            _ => {}
         }
     }
 }
@@ -309,6 +338,9 @@ struct Compute {
     lb_every: u64,
     cells: ArrayProxy<Cell>,
     waiting_resume: bool,
+    /// See [`Cell::rolled_back`]: adopt the step of the first coords that
+    /// arrive after a rollback.
+    rolled_back: bool,
 }
 
 impl Pup for Compute {
@@ -316,7 +348,8 @@ impl Pup for Compute {
         charm_pup::pup_all!(
             p;
             self.a, self.b, self.inputs_seen, self.early_inputs, self.atoms,
-            self.step, self.lb_every, self.cells, self.waiting_resume
+            self.step, self.lb_every, self.cells, self.waiting_resume,
+            self.rolled_back
         );
     }
 }
@@ -367,6 +400,15 @@ impl Chare for Compute {
 
     fn on_message(&mut self, msg: ComputeMsg, ctx: &mut Ctx<'_>) {
         let ComputeMsg::Coords { step, atoms, .. } = msg;
+        if self.rolled_back {
+            // After a rollback every cell re-runs the driver's step; the
+            // first re-sent coords tell us which step that is.
+            self.rolled_back = false;
+            self.step = step;
+            self.inputs_seen = 0;
+            self.early_inputs = 0;
+            self.waiting_resume = false;
+        }
         if step != self.step {
             debug_assert_eq!(step, self.step + 1, "coords from the far future");
             self.early_inputs += 1;
@@ -401,8 +443,10 @@ impl Chare for Compute {
     }
 
     fn on_event(&mut self, ev: SysEvent, _ctx: &mut Ctx<'_>) {
-        if matches!(ev, SysEvent::ResumeFromSync) {
-            self.waiting_resume = false;
+        match ev {
+            SysEvent::ResumeFromSync => self.waiting_resume = false,
+            SysEvent::Restarted { .. } => self.rolled_back = true,
+            _ => {}
         }
     }
 
@@ -483,6 +527,9 @@ pub fn run_with_runtime(mut config: LeanMdConfig) -> (AppRun, Runtime) {
     ))
     .seed(config.seed)
     .lb_trigger(LbTrigger::AtSync);
+    if let Some(interval) = config.auto_ckpt {
+        b = b.auto_checkpoint(interval);
+    }
     let has_strategy = config.strategy.is_some();
     if let Some(s) = config.strategy.take() {
         b = b.strategy(s);
@@ -592,6 +639,9 @@ pub fn run_with_runtime(mut config: LeanMdConfig) -> (AppRun, Runtime) {
     if let Some((t, pe)) = config.fail_at {
         rt.schedule_failure(t, pe);
     }
+    for (t, pe) in &config.failures {
+        rt.schedule_failure(*t, *pe);
+    }
     for (t, to) in &config.reconfigure {
         rt.schedule_reconfigure(*t, *to);
     }
@@ -670,6 +720,30 @@ mod tests {
             *run.step_times.last().unwrap() > 0.0,
             "run completed"
         );
+    }
+
+    #[test]
+    fn auto_checkpoint_survives_repeated_failures() {
+        // Probe to learn the run length, then enable periodic checkpoints
+        // and pepper the run with two (non-buddy) node failures.
+        let (_probe, probe_rt) = run_with_runtime(LeanMdConfig {
+            steps: 8,
+            ..LeanMdConfig::default()
+        });
+        let end_t = probe_rt.metric("leanmd_step").last().unwrap().0;
+        let (run, rt) = run_with_runtime(LeanMdConfig {
+            steps: 8,
+            auto_ckpt: Some(SimTime::from_secs_f64(end_t / 6.0)),
+            failures: vec![
+                (SimTime::from_secs_f64(end_t * 0.45), 2),
+                (SimTime::from_secs_f64(end_t * 0.75), 3),
+            ],
+            ..LeanMdConfig::default()
+        });
+        assert!(rt.unrecoverable().is_none(), "{:?}", rt.unrecoverable());
+        assert!(rt.metric("ckpt_committed").len() >= 2, "periodic checkpoints ran");
+        assert!(rt.metric("restart_time_s").len() >= 2, "both failures recovered");
+        assert!(run.step_times.len() >= 8, "steps re-run after rollbacks");
     }
 
     #[test]

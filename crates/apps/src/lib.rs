@@ -43,6 +43,10 @@ pub struct AppRun {
     pub avg_utilization: f64,
     /// Number of LB rounds that ran.
     pub lb_rounds: usize,
+    /// Set when the run hit an unrecoverable failure (§III-B: both
+    /// checkpoint copies of some chare destroyed); the surviving PEs still
+    /// drained, but the result is incomplete.
+    pub unrecoverable: Option<String>,
 }
 
 impl AppRun {
@@ -81,6 +85,7 @@ pub(crate) fn collect_app_run(
         messages: summary.messages,
         avg_utilization: summary.avg_utilization,
         lb_rounds: rt.lb_rounds().len(),
+        unrecoverable: rt.unrecoverable().map(|u| u.to_string()),
     }
 }
 
@@ -112,6 +117,7 @@ mod tests {
             messages: 0,
             avg_utilization: 0.0,
             lb_rounds: 0,
+            unrecoverable: None,
         };
         assert!((r.avg_step_s() - 0.5).abs() < 1e-12);
         assert_eq!(r.step_durations(), vec![1.0, 0.5, 0.5, 0.5]);

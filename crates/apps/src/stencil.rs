@@ -34,6 +34,10 @@ pub struct StencilConfig {
     pub dvfs: DvfsScheme,
     /// DVFS sampling period.
     pub dvfs_period: SimTime,
+    /// Automatic in-memory checkpoint interval (§III-B).
+    pub auto_ckpt: Option<SimTime>,
+    /// PE failures to inject, as `(time, pe)` pairs.
+    pub failures: Vec<(SimTime, usize)>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -53,6 +57,8 @@ impl StencilConfig {
             lb_period: None,
             dvfs: DvfsScheme::Off,
             dvfs_period: SimTime::from_secs(1),
+            auto_ckpt: None,
+            failures: Vec::new(),
             seed: 42,
         }
     }
@@ -72,6 +78,9 @@ struct Block {
     data: SyntheticBlob,
     driver: ArrayProxy<Driver>,
     blocks: ArrayProxy<Block>,
+    /// Restored from a checkpoint taken mid-step: adopt the driver's step
+    /// from the next `Step` broadcast and drop transient halo counters.
+    rolled_back: bool,
 }
 
 impl Pup for Block {
@@ -80,7 +89,7 @@ impl Pup for Block {
             p;
             self.bx, self.by, self.side, self.points_per_side,
             self.flops_per_point, self.halos_seen, self.early_halos,
-            self.step, self.data, self.driver, self.blocks
+            self.step, self.data, self.driver, self.blocks, self.rolled_back
         );
     }
 }
@@ -158,11 +167,25 @@ impl Chare for Block {
     fn on_message(&mut self, msg: BlockMsg, ctx: &mut Ctx<'_>) {
         match msg {
             BlockMsg::Step(s) => {
-                debug_assert!(s == self.step + 1 || (s == 0 && self.step == 0));
+                if self.rolled_back {
+                    // A checkpoint can land mid-step, capturing blocks at
+                    // mixed phases; the whole exchange re-runs from the
+                    // driver's step.
+                    self.rolled_back = false;
+                } else {
+                    debug_assert!(s == self.step + 1 || (s == 0 && self.step == 0));
+                }
                 self.step = s;
                 self.halos_seen += std::mem::take(&mut self.early_halos);
                 self.send_halos(ctx, s);
                 self.maybe_compute(ctx);
+            }
+            BlockMsg::Halo(s) if self.rolled_back => {
+                // In-flight messages were purged at rollback, so this is a
+                // fresh halo for the re-driven step that raced ahead of our
+                // own Step broadcast; hold it until that arrives.
+                let _ = s;
+                self.early_halos += 1;
             }
             BlockMsg::Halo(s) => {
                 // Asynchrony: a neighbor that already started step s+1 can
@@ -178,7 +201,13 @@ impl Chare for Block {
         }
     }
 
-    fn on_event(&mut self, _ev: SysEvent, _ctx: &mut Ctx<'_>) {}
+    fn on_event(&mut self, ev: SysEvent, _ctx: &mut Ctx<'_>) {
+        if let SysEvent::Restarted { .. } = ev {
+            self.rolled_back = true;
+            self.halos_seen = 0;
+            self.early_halos = 0;
+        }
+    }
 }
 
 #[derive(Default)]
@@ -200,14 +229,26 @@ impl Chare for Driver {
         ctx.broadcast(self.blocks, BlockMsg::Step(0));
     }
     fn on_event(&mut self, ev: SysEvent, ctx: &mut Ctx<'_>) {
-        if let SysEvent::Reduction { .. } = ev {
-            self.step += 1;
-            ctx.log_metric("stencil_step", ctx.now().as_secs_f64());
-            if self.step < self.steps {
-                ctx.broadcast(self.blocks, BlockMsg::Step(self.step));
-            } else {
-                ctx.exit();
+        match ev {
+            SysEvent::Reduction { .. } => {
+                self.step += 1;
+                ctx.log_metric("stencil_step", ctx.now().as_secs_f64());
+                if self.step < self.steps {
+                    ctx.broadcast(self.blocks, BlockMsg::Step(self.step));
+                } else {
+                    ctx.exit();
+                }
             }
+            SysEvent::Restarted { .. } => {
+                // Re-drive the step that was in flight when the failure hit
+                // (this also replays the initial kick if it was lost).
+                if self.step < self.steps {
+                    ctx.broadcast(self.blocks, BlockMsg::Step(self.step));
+                } else {
+                    ctx.exit();
+                }
+            }
+            _ => {}
         }
     }
 }
@@ -225,7 +266,13 @@ pub fn run(mut config: StencilConfig) -> AppRun {
     if let Some(s) = config.strategy.take() {
         b = b.strategy(s);
     }
+    if let Some(interval) = config.auto_ckpt {
+        b = b.auto_checkpoint(interval);
+    }
     let mut rt = b.build();
+    for (t, pe) in &config.failures {
+        rt.schedule_failure(*t, *pe);
+    }
 
     let blocks: ArrayProxy<Block> = rt.create_array("stencil_blocks");
     let driver: ArrayProxy<Driver> = rt.create_array("stencil_driver");
@@ -383,9 +430,13 @@ mod tests {
         let nolb = run(mk(false));
         let lb = run(mk(true));
         assert!(lb.lb_rounds > 0);
+        // Median of the trailing steps: a refine round can land a one-off
+        // migration spike anywhere, so a mean over a short tail is noisy.
         let last = |r: &AppRun| {
             let d = r.step_durations();
-            d[d.len() - 5..].iter().sum::<f64>() / 5.0
+            let mut tail = d[d.len() - 10..].to_vec();
+            tail.sort_by(|a, b| a.total_cmp(b));
+            tail[tail.len() / 2]
         };
         assert!(
             last(&lb) < last(&nolb) * 0.9,
@@ -400,5 +451,39 @@ mod tests {
         let a = run(base(8, 4, 8));
         let b = run(base(8, 4, 8));
         assert_eq!(a.step_times, b.step_times);
+    }
+
+    #[test]
+    fn auto_checkpoint_survives_repeated_failures() {
+        // A grid small enough that a checkpoint's replication window is
+        // short relative to a step — with the 4k grid a single checkpoint
+        // ships 128 MB over Ethernet and the first failure would land
+        // inside the (first, uncommitted) checkpoint window, which is
+        // correctly Unrecoverable rather than a recovery exercise.
+        let small = || {
+            let mut c = base(8, 2, 12);
+            c.grid = 256;
+            c
+        };
+        // Probe run to learn the failure-free duration, then re-run with
+        // periodic checkpoints and two failures dropped at arbitrary
+        // instants — including potentially mid-step or mid-protocol.
+        let probe = run(small());
+        let end_t = *probe.step_times.last().unwrap();
+
+        let mut c = small();
+        c.auto_ckpt = Some(SimTime::from_secs_f64(end_t / 6.0));
+        c.failures = vec![
+            (SimTime::from_secs_f64(0.45 * end_t), 2),
+            (SimTime::from_secs_f64(0.75 * end_t), 5),
+        ];
+        let r = run(c);
+        // Re-driven steps re-log their metric, so ≥ rather than ==.
+        assert!(
+            r.step_times.len() >= 12,
+            "all steps complete after recovery (got {} steps)",
+            r.step_times.len()
+        );
+        assert!(r.total_s > probe.total_s, "recovery costs time");
     }
 }

@@ -29,6 +29,8 @@ fn config(scheme: DvfsScheme, with_lb: bool, scale: Scale) -> StencilConfig {
         lb_period: None, // LB is driven by the DVFS scheme itself
         dvfs: scheme,
         dvfs_period: SimTime::from_millis(scale.pick(200, 1000)),
+        auto_ckpt: None,
+        failures: Vec::new(),
         seed: 42,
     }
 }

@@ -4,19 +4,28 @@
 //!
 //! * **Double in-memory checkpoint** (`CkStartMemCheckpoint`): every chare is
 //!   packed; the bytes are kept in the local PE's memory and mirrored on a
-//!   *buddy* PE. When an injected failure kills a PE, the whole application
-//!   rolls back: all chare state is restored from the checkpoint (the failed
-//!   PE's chares come from their buddy copies), message state is discarded,
-//!   and every chare receives [`SysEvent::Restarted`] to re-drive execution.
+//!   *buddy* PE. The snapshot only becomes the recovery point once buddy
+//!   replication finishes ([`Ev::CkptCommit`]); a failure inside that window
+//!   aborts it and rolls back to the previous committed checkpoint. When an
+//!   injected failure kills a node, every PE in the node's range dies and the
+//!   whole application rolls back: all chare state is restored from the
+//!   checkpoint (the failed PEs' chares come from their buddy copies),
+//!   message state is discarded, and every chare receives
+//!   [`SysEvent::Restarted`] to re-drive execution. If a failure — or a
+//!   cascade landing before copies are rebuilt — destroys *both* copies of
+//!   some chare, the run is [`Unrecoverable`](crate::Unrecoverable): that is
+//!   surfaced as a typed outcome, never a silent partial restore.
 //! * **Disk checkpoint** (`CkStartCheckpoint` + `+restart`): chare state is
-//!   written to real files and can be restored into a *new* runtime with a
+//!   written to real files (CRC32-checksummed, written atomically via a
+//!   temp file + rename) and can be restored into a *new* runtime with a
 //!   *different* PE count — split execution, exactly as the paper describes.
+//!   Corrupted files are rejected with a structured [`RestoreError`].
 
 use crate::array::ObjId;
 use crate::chare::{Callback, SysEvent};
-use crate::runtime::{Ev, Runtime, ENVELOPE_BYTES};
+use crate::runtime::{Ev, Runtime, Unrecoverable, ENVELOPE_BYTES};
 use charm_machine::SimTime;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use std::path::Path;
 
@@ -25,16 +34,23 @@ use std::path::Path;
 /// these are those barriers.
 const RESTART_BARRIERS: u64 = 6;
 
+/// Magic prefix of the on-disk checkpoint format (version 2: adds a
+/// length + CRC32 header over the payload).
+const DISK_MAGIC: &[u8; 8] = b"CHMCKPT2";
+
 /// An in-memory snapshot of the entire application.
 pub struct MemCheckpoint {
     /// Packed state of every chare, keyed by identity.
     pub(crate) bytes: HashMap<ObjId, Vec<u8>>,
-    /// PE each chare lived on at checkpoint time.
+    /// PE each chare lived on at checkpoint time — where the *local* copy
+    /// resides; the second copy lives on that PE's [`buddy_pe`].
     pub(crate) placement: HashMap<ObjId, usize>,
     /// Virtual time the checkpoint was taken.
     pub(crate) taken_at: SimTime,
     /// Per-PE checkpoint volume (drives the buddy-transfer cost model).
     pub(crate) per_pe_bytes: Vec<usize>,
+    /// PE count when the checkpoint was taken (fixes the buddy mapping).
+    pub(crate) num_pes: usize,
 }
 
 impl MemCheckpoint {
@@ -52,19 +68,41 @@ impl MemCheckpoint {
     pub fn taken_at(&self) -> SimTime {
         self.taken_at
     }
+
+    /// The two PEs holding a chare's checkpoint copies: (owner, buddy).
+    /// Returns `None` for chares the checkpoint does not cover.
+    pub fn copy_pes(&self, obj: &ObjId) -> Option<(usize, usize)> {
+        let owner = *self.placement.get(obj)?;
+        Some((owner, buddy_pe(owner, self.num_pes)))
+    }
+}
+
+/// A checkpoint whose buddy replication is still in flight (§III-B: the
+/// snapshot is usable only once both copies exist everywhere).
+pub(crate) struct PendingCkpt {
+    pub(crate) ckpt: MemCheckpoint,
+    pub(crate) cb: Callback,
+    /// When replication finishes and the checkpoint commits.
+    pub(crate) done: SimTime,
 }
 
 /// Buddy of a PE in the double in-memory scheme: the PE half the machine
 /// away, so a node failure never takes out both copies.
-pub(crate) fn buddy_pe(pe: usize, num_pes: usize) -> usize {
+pub fn buddy_pe(pe: usize, num_pes: usize) -> usize {
     (pe + num_pes / 2) % num_pes
 }
 
 impl Runtime {
     /// Take the double in-memory checkpoint now. Called from
     /// [`Ctx::start_mem_checkpoint`](crate::Ctx::start_mem_checkpoint)
-    /// action application.
+    /// action application and from the automatic checkpoint tick.
     pub(crate) fn start_mem_checkpoint(&mut self, cb: Callback, at: SimTime) {
+        if let Some(p) = &self.ckpt_pending {
+            // A checkpoint is already replicating; coalesce into it.
+            let done = p.done;
+            self.deliver_callback(cb, SysEvent::CheckpointDone, done);
+            return;
+        }
         let mut bytes = HashMap::new();
         let mut placement = HashMap::new();
         let mut per_pe = vec![0usize; self.machine.num_pes];
@@ -92,21 +130,67 @@ impl Runtime {
         };
         let barrier = self.barrier_cost();
         let total = transfer + barrier;
-
-        self.mem_ckpt = Some(MemCheckpoint {
-            bytes,
-            placement,
-            taken_at: at,
-            per_pe_bytes: per_pe,
-        });
-
         let done = at + total;
+
+        self.ckpt_pending = Some(PendingCkpt {
+            ckpt: MemCheckpoint {
+                bytes,
+                placement,
+                taken_at: at,
+                per_pe_bytes: per_pe,
+                num_pes: self.live_pes,
+            },
+            cb,
+            done,
+        });
+        self.events.push(done, Ev::CkptCommit);
         self.block_all_pes(done);
         self.metrics
             .entry("ckpt_time_s".into())
             .or_default()
             .push((at.as_secs_f64(), total.as_secs_f64()));
-        self.deliver_callback(cb, SysEvent::CheckpointDone, done);
+    }
+
+    /// Buddy replication finished: the pending snapshot becomes the
+    /// recovery point and the requester learns the checkpoint succeeded.
+    pub(crate) fn on_ckpt_commit(&mut self) {
+        let Some(p) = self.ckpt_pending.take() else {
+            // The checkpoint this commit belonged to was aborted by a
+            // failure; nothing to do.
+            return;
+        };
+        if p.done != self.now {
+            // A stale commit event for an aborted checkpoint; the live
+            // pending one commits at its own time.
+            self.ckpt_pending = Some(p);
+            return;
+        }
+        // Both copies of every chare are now in place; rebuild windows
+        // from any earlier restart are superseded.
+        self.copy_missing.clear();
+        self.mem_ckpt = Some(p.ckpt);
+        self.metrics
+            .entry("ckpt_committed".into())
+            .or_default()
+            .push((self.now.as_secs_f64(), 1.0));
+        self.deliver_callback(p.cb, SysEvent::CheckpointDone, self.now);
+    }
+
+    /// Automatic periodic checkpoint tick: checkpoint if the application
+    /// still has work outstanding, and re-arm only in that case so the run
+    /// terminates once the job drains.
+    pub(crate) fn on_auto_ckpt(&mut self) {
+        let Some(interval) = self.auto_ckpt_interval else {
+            return;
+        };
+        let outstanding = self.inflight > 0 || self.queued > 0 || self.busy_pes > 0;
+        if !outstanding || self.exit_requested {
+            return;
+        }
+        if self.ckpt_pending.is_none() {
+            self.start_mem_checkpoint(Callback::Ignore, self.now);
+        }
+        self.events.push(self.now + interval, Ev::AutoCkpt);
     }
 
     /// Cost of one spanning-tree barrier over the live PEs.
@@ -125,38 +209,86 @@ impl Runtime {
         }
     }
 
-    /// Handle an injected node failure: roll the application back to the
-    /// last in-memory checkpoint (§III-B, [7]).
+    /// Handle an injected node failure: every PE on the node containing
+    /// `pe` dies, and the application rolls back to the last *committed*
+    /// in-memory checkpoint (§III-B, [7]) — or is declared
+    /// [`Unrecoverable`] when no surviving copy covers some chare.
     pub(crate) fn on_node_failure(&mut self, pe: usize) {
-        if pe >= self.pes.len() || !self.pes[pe].alive {
+        if pe >= self.pes.len() {
             return;
         }
-        let Some(ckpt) = self.mem_ckpt.take() else {
-            // No checkpoint: the process and everything on it is simply
-            // lost; messages to it vanish. (The paper always checkpoints
-            // before injecting failures.)
-            self.pes[pe].alive = false;
-            self.queued -= self.pes[pe].pending.len() as u64;
-            self.pes[pe].pending.clear();
-            if self.pes[pe].busy {
-                self.pes[pe].busy = false;
-                self.busy_pes -= 1;
-            }
+        let node = self.machine.node_of(pe);
+        let failed: Vec<usize> = self
+            .machine
+            .node_pe_range(node)
+            .filter(|&p| p < self.live_pes && self.pes[p].alive)
+            .collect();
+        if failed.is_empty() {
+            return;
+        }
+
+        // A checkpoint still replicating to buddies can no longer commit:
+        // abort it and fall back to the previous committed checkpoint.
+        if let Some(pending) = self.ckpt_pending.take() {
             self.metrics
-                .entry("unrecovered_failures".into())
+                .entry("ckpt_aborted".into())
                 .or_default()
-                .push((self.now.as_secs_f64(), pe as f64));
+                .push((self.now.as_secs_f64(), pending.ckpt.taken_at.as_secs_f64()));
+        }
+        // Restart windows that have completed by now are fully rebuilt.
+        let now = self.now;
+        self.copy_missing.retain(|_, until| *until > now);
+
+        let Some(ckpt) = self.mem_ckpt.take() else {
+            // No committed checkpoint: the processes and everything on
+            // them are simply lost; messages to them vanish. Survivors
+            // keep running.
+            let lost = self.live_chares_on(&failed);
+            self.kill_pes(&failed);
+            if lost > 0 {
+                self.mark_unrecoverable(
+                    &failed,
+                    lost,
+                    "no committed checkpoint existed at failure time".to_string(),
+                );
+            }
             return;
         };
 
+        // ---- is the checkpoint still whole? --------------------------------
+        // A chare survives iff at least one of its two copies (owner PE,
+        // buddy PE) sits on a PE that is neither newly dead nor still
+        // rebuilding its copies after an earlier restart.
+        let mut dead: HashSet<usize> = failed.iter().copied().collect();
+        dead.extend(self.copy_missing.keys().copied());
+        let lost = ckpt
+            .placement
+            .values()
+            .filter(|&&p| dead.contains(&p) && dead.contains(&buddy_pe(p, ckpt.num_pes)))
+            .count();
+        if lost > 0 {
+            self.mem_ckpt = Some(ckpt); // keep for post-mortem inspection
+            self.metrics
+                .entry("unrecoverable_failures".into())
+                .or_default()
+                .push((self.now.as_secs_f64(), lost as f64));
+            self.kill_pes(&failed);
+            self.mark_unrecoverable(
+                &failed,
+                lost,
+                format!("{lost} chare(s) lost both checkpoint copies"),
+            );
+            return;
+        }
+
         // ---- rollback: discard all execution/message state -----------------
         self.purge_volatile_events();
-        for p in self.pes.iter_mut() {
+        for p in self.pes[..self.live_pes].iter_mut() {
             p.pending.clear();
             p.busy = false;
             p.current = None;
             p.blocked_until = SimTime::ZERO;
-            p.alive = true; // the crashed process is replaced by a fresh one
+            p.alive = true; // crashed processes are replaced by fresh ones
         }
         self.queued = 0;
         self.inflight = 0;
@@ -179,53 +311,122 @@ impl Runtime {
         }
 
         // ---- cost model ------------------------------------------------------
-        // The buddy streams the dead PE's checkpoint to the replacement;
-        // every PE then restores locally; several barriers synchronize the
-        // protocol (this is the term that grows with P — Fig. 10 restart).
-        let failed_bytes = ckpt.per_pe_bytes.get(pe).copied().unwrap_or(0);
-        let resend = if self.live_pes > 1 {
-            self.net.delay(buddy_pe(pe, self.live_pes), pe, failed_bytes + ENVELOPE_BYTES)
-        } else {
-            SimTime::ZERO
-        };
+        // Each dead PE's buddy streams its checkpoint to the replacement
+        // concurrently (max over failed PEs); every PE then restores
+        // locally; several barriers synchronize the protocol (this is the
+        // term that grows with P — Fig. 10 restart).
+        let resend = failed
+            .iter()
+            .map(|&p| {
+                let bytes = ckpt.per_pe_bytes.get(p).copied().unwrap_or(0);
+                if self.live_pes > 1 {
+                    self.net
+                        .delay(buddy_pe(p, ckpt.num_pes), p, bytes + ENVELOPE_BYTES)
+                } else {
+                    SimTime::ZERO
+                }
+            })
+            .max()
+            .unwrap_or(SimTime::ZERO);
         let barriers = SimTime(self.barrier_cost().0 * RESTART_BARRIERS);
         let total = resend + barriers;
         let done = self.now + total;
         self.block_all_pes(done);
 
+        // Until the restart protocol completes, the replacement processes
+        // hold no checkpoint copies: a failure overlapping them before
+        // `done` can still destroy both copies of a chare.
+        for &p in &failed {
+            self.copy_missing.insert(p, done);
+        }
+
         self.metrics
             .entry("restart_time_s".into())
             .or_default()
             .push((self.now.as_secs_f64(), total.as_secs_f64()));
-        self.metrics
-            .entry("failures_recovered".into())
-            .or_default()
-            .push((self.now.as_secs_f64(), pe as f64));
+        for &p in &failed {
+            self.metrics
+                .entry("failures_recovered".into())
+                .or_default()
+                .push((self.now.as_secs_f64(), p as f64));
+        }
 
         // Keep the checkpoint for further failures.
         self.mem_ckpt = Some(ckpt);
 
         // Tell everyone to resume from checkpointed state.
+        let first_failed = failed[0];
         let arrays: Vec<_> = self.stores.iter().map(|s| s.id()).collect();
         for array in arrays {
             for ix in self.stores[array.0 as usize].indices() {
                 self.deliver_sys(
                     ObjId { array, ix },
-                    SysEvent::Restarted { failed_pe: pe },
+                    SysEvent::Restarted {
+                        failed_pe: first_failed,
+                    },
                     done,
                 );
             }
         }
     }
 
-    /// Drop Deliver/PeFree/PeRetry/MigrateArrive events (message & execution
-    /// state), keeping hardware-driven events (failures, DVFS ticks,
-    /// reconfigurations).
+    /// Count live chares currently hosted on any of `pes`.
+    fn live_chares_on(&self, pes: &[usize]) -> usize {
+        self.stores
+            .iter()
+            .map(|s| {
+                s.indices()
+                    .into_iter()
+                    .filter(|ix| s.element_pe(ix).is_some_and(|p| pes.contains(&p)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Kill PEs without recovery: drop their queues, release the busy
+    /// accounting, and record the per-PE `unrecovered_failures` metric.
+    fn kill_pes(&mut self, failed: &[usize]) {
+        for &pe in failed {
+            let p = &mut self.pes[pe];
+            p.alive = false;
+            self.queued -= p.pending.len() as u64;
+            p.pending.clear();
+            if p.busy {
+                p.busy = false;
+                p.current = None;
+                self.busy_pes -= 1;
+            }
+            self.metrics
+                .entry("unrecovered_failures".into())
+                .or_default()
+                .push((self.now.as_secs_f64(), pe as f64));
+        }
+    }
+
+    /// Record the (sticky) fatal outcome — the first fatal failure wins.
+    fn mark_unrecoverable(&mut self, failed: &[usize], lost_chares: usize, reason: String) {
+        if self.unrecoverable.is_none() {
+            self.unrecoverable = Some(Unrecoverable {
+                at: self.now,
+                failed_pes: failed.to_vec(),
+                lost_chares,
+                reason,
+            });
+        }
+    }
+
+    /// Drop Deliver/PeFree/PeRetry/MigrateArrive/CkptCommit events (message,
+    /// execution, and in-flight checkpoint state), keeping hardware-driven
+    /// events (failures, DVFS ticks, reconfigurations, checkpoint ticks).
     fn purge_volatile_events(&mut self) {
         let mut keep = Vec::new();
         while let Some((t, ev)) = self.events.pop() {
             match ev {
-                Ev::Deliver { .. } | Ev::PeFree { .. } | Ev::PeRetry { .. } | Ev::MigrateArrive { .. } => {}
+                Ev::Deliver { .. }
+                | Ev::PeFree { .. }
+                | Ev::PeRetry { .. }
+                | Ev::MigrateArrive { .. }
+                | Ev::CkptCommit => {}
                 other => keep.push((t, other)),
             }
         }
@@ -239,19 +440,23 @@ impl Runtime {
     /// Write the full application state to `path` (a real file). Returns the
     /// modeled virtual-time cost of the parallel write and the byte volume.
     ///
+    /// The image carries a version magic, the payload length, and a CRC32
+    /// over the payload, and is written to a temp file in the same
+    /// directory then renamed into place — a torn write can at worst leave
+    /// a stale temp file, never a half-written checkpoint under `path`.
+    ///
     /// Chare-based checkpointing means the restart PE count is independent of
     /// this run's PE count (§III-B).
     pub fn checkpoint_to_disk(&mut self, path: &Path) -> std::io::Result<DiskCkptInfo> {
-        let mut out: Vec<u8> = Vec::new();
-        out.extend_from_slice(b"CHMCKPT1");
+        let mut payload: Vec<u8> = Vec::new();
         let arrays: Vec<_> = self.stores.iter().map(|s| s.id()).collect();
-        write_u64(&mut out, arrays.len() as u64);
+        write_u64(&mut payload, arrays.len() as u64);
         let mut per_pe = vec![0usize; self.machine.num_pes];
         for id in arrays {
             let name = self.stores[id.0 as usize].name().to_string();
-            write_bytes(&mut out, name.as_bytes());
+            write_bytes(&mut payload, name.as_bytes());
             let indices = self.stores[id.0 as usize].indices();
-            write_u64(&mut out, indices.len() as u64);
+            write_u64(&mut payload, indices.len() as u64);
             for ix in indices {
                 let pe = self.stores[id.0 as usize].element_pe(&ix).expect("listed");
                 let body = self.stores[id.0 as usize]
@@ -260,11 +465,23 @@ impl Runtime {
                 per_pe[pe] += body.len();
                 let mut ixc = ix;
                 let ix_bytes = charm_pup::to_bytes(&mut ixc);
-                write_bytes(&mut out, &ix_bytes);
-                write_bytes(&mut out, &body);
+                write_bytes(&mut payload, &ix_bytes);
+                write_bytes(&mut payload, &body);
             }
         }
-        std::fs::write(path, &out)?;
+
+        let mut out: Vec<u8> = Vec::with_capacity(payload.len() + 20);
+        out.extend_from_slice(DISK_MAGIC);
+        write_u64(&mut out, payload.len() as u64);
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, &out)?;
+        std::fs::rename(&tmp, path)?;
+
         let max_pe_bytes = per_pe.iter().copied().max().unwrap_or(0);
         let cost = self.machine.disk.write_time(self.live_pes, max_pe_bytes);
         self.metrics
@@ -282,21 +499,39 @@ impl Runtime {
     /// registered (by name, with matching chare types) on this runtime.
     /// Elements are placed by the home map of *this* runtime's PE count —
     /// restart on any number of PEs.
-    pub fn restore_from_disk(&mut self, path: &Path) -> Result<DiskCkptInfo, String> {
-        let data = std::fs::read(path).map_err(|e| format!("read checkpoint: {e}"))?;
+    ///
+    /// The header and CRC32 are validated *before* any state is touched:
+    /// a truncated, torn, or bit-flipped image is rejected with a
+    /// [`RestoreError`] and the runtime is left unmodified.
+    pub fn restore_from_disk(&mut self, path: &Path) -> Result<DiskCkptInfo, RestoreError> {
+        let data = std::fs::read(path).map_err(|e| RestoreError::Io(e.to_string()))?;
         let mut r = Reader { data: &data, pos: 0 };
         let magic = r.take(8)?;
-        if magic != b"CHMCKPT1" {
-            return Err("bad checkpoint magic".into());
+        if magic != DISK_MAGIC {
+            let mut found = [0u8; 8];
+            found.copy_from_slice(magic);
+            return Err(RestoreError::BadMagic { found });
         }
+        let payload_len = r.u64()? as usize;
+        let expected_crc = u32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes"));
+        let payload = r.take(payload_len)?;
+        let actual_crc = crc32(payload);
+        if actual_crc != expected_crc {
+            return Err(RestoreError::ChecksumMismatch {
+                expected: expected_crc,
+                actual: actual_crc,
+            });
+        }
+
+        let mut r = Reader { data: payload, pos: 0 };
         let n_arrays = r.u64()?;
         let mut max_pe_bytes = vec![0usize; self.live_pes];
         for _ in 0..n_arrays {
             let name = String::from_utf8(r.bytes()?.to_vec())
-                .map_err(|_| "invalid array name".to_string())?;
+                .map_err(|_| RestoreError::Malformed("invalid array name".into()))?;
             let id = self
                 .array_id(&name)
-                .ok_or_else(|| format!("array '{name}' not registered before restore"))?;
+                .ok_or(RestoreError::MissingArray { name })?;
             let n_elems = r.u64()?;
             for _ in 0..n_elems {
                 let ix_bytes = r.bytes()?;
@@ -319,13 +554,13 @@ impl Runtime {
         })
     }
 
-    /// The last in-memory checkpoint, if any.
+    /// The last *committed* in-memory checkpoint, if any.
     pub fn mem_checkpoint(&self) -> Option<&MemCheckpoint> {
         self.mem_ckpt.as_ref()
     }
 
-    /// Inject a failure of `pe` at virtual time `at` (on top of any failures
-    /// already in the machine's `FailurePlan`).
+    /// Inject a failure of the node containing `pe` at virtual time `at`
+    /// (on top of any failures already in the machine's `FailurePlan`).
     pub fn schedule_failure(&mut self, at: SimTime, pe: usize) {
         self.events.push(at, Ev::NodeFail { pe });
     }
@@ -338,6 +573,88 @@ pub struct DiskCkptInfo {
     pub virtual_cost: SimTime,
     /// Real bytes written/read on the host filesystem.
     pub bytes: usize,
+}
+
+/// Why a disk checkpoint could not be restored. Every corruption mode the
+/// disk-fault injector produces maps to one of these — restore never
+/// panics and never applies a partially-validated image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The file could not be read at all.
+    Io(String),
+    /// The file does not start with the checkpoint magic (not a
+    /// checkpoint, a previous-generation format, or a corrupted header).
+    BadMagic {
+        /// The first 8 bytes actually found.
+        found: [u8; 8],
+    },
+    /// The file ends before the declared payload does.
+    Truncated {
+        /// Offset at which the read ran out of bytes.
+        offset: usize,
+        /// How many bytes the reader needed there.
+        need: usize,
+    },
+    /// The payload does not match its recorded CRC32 (bit rot, torn write).
+    ChecksumMismatch {
+        /// CRC32 recorded in the header.
+        expected: u32,
+        /// CRC32 of the payload as read.
+        actual: u32,
+    },
+    /// The checkpoint names an array this runtime has not registered.
+    MissingArray {
+        /// The unregistered array's name.
+        name: String,
+    },
+    /// Structurally invalid payload despite a matching checksum.
+    Malformed(String),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::Io(e) => write!(f, "read checkpoint: {e}"),
+            RestoreError::BadMagic { found } => write!(f, "bad checkpoint magic {found:02x?}"),
+            RestoreError::Truncated { offset, need } => write!(
+                f,
+                "checkpoint truncated at offset {offset} (need {need} bytes)"
+            ),
+            RestoreError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checkpoint checksum mismatch: header says {expected:#010x}, payload is {actual:#010x}"
+            ),
+            RestoreError::MissingArray { name } => {
+                write!(f, "array '{name}' not registered before restore")
+            }
+            RestoreError::Malformed(e) => write!(f, "malformed checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`), implemented
+/// here because the build environment has no registry access for a crc
+/// crate.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
 }
 
 fn write_u64(out: &mut Vec<u8>, v: u64) {
@@ -355,22 +672,22 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RestoreError> {
         if self.pos + n > self.data.len() {
-            return Err(format!(
-                "checkpoint truncated at offset {} (need {n} bytes)",
-                self.pos
-            ));
+            return Err(RestoreError::Truncated {
+                offset: self.pos,
+                need: n,
+            });
         }
         let s = &self.data[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
     }
-    fn u64(&mut self) -> Result<u64, String> {
+    fn u64(&mut self) -> Result<u64, RestoreError> {
         let b = self.take(8)?;
         Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
     }
-    fn bytes(&mut self) -> Result<&'a [u8], String> {
+    fn bytes(&mut self) -> Result<&'a [u8], RestoreError> {
         let n = self.u64()? as usize;
         self.take(n)
     }
@@ -394,12 +711,43 @@ mod tests {
     }
 
     #[test]
+    fn buddy_on_odd_pe_counts() {
+        // Odd P: the offset floor(P/2) never divides P, so the mapping is
+        // a fixed rotation — in range, never self, and exhaustive when
+        // iterated (every PE is some PE's buddy).
+        for p in [3usize, 5, 7, 9, 31, 63] {
+            let mut seen = vec![false; p];
+            for pe in 0..p {
+                let b = buddy_pe(pe, p);
+                assert!(b < p);
+                assert_ne!(b, pe);
+                seen[b] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "buddy not a bijection for P={p}");
+        }
+        assert_eq!(buddy_pe(0, 7), 3);
+        assert_eq!(buddy_pe(4, 7), 0);
+        assert_eq!(buddy_pe(6, 7), 2);
+    }
+
+    #[test]
     fn reader_rejects_truncation() {
         let mut r = Reader {
             data: &[1, 2, 3],
             pos: 0,
         };
         assert!(r.take(2).is_ok());
-        assert!(r.take(2).is_err());
+        assert!(matches!(
+            r.take(2),
+            Err(RestoreError::Truncated { offset: 2, need: 2 })
+        ));
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The standard IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
     }
 }

@@ -75,12 +75,12 @@ mod runtime;
 pub use array::{ArrayId, ArrayProxy, ObjId, Payload};
 pub use chare::{Callback, Chare, RedOp, RedValue, SysEvent};
 pub use ctx::Ctx;
-pub use ft::{DiskCkptInfo, MemCheckpoint};
+pub use ft::{buddy_pe, DiskCkptInfo, MemCheckpoint, RestoreError};
 pub use index::Ix;
 pub use interop::CharmLib;
 pub use lbframework::{LbRound, LbStats, LbTrigger, NullLb, ObjStat, Strategy};
 pub use power::DvfsScheme;
-pub use runtime::{HomeMap, RunSummary, Runtime, RuntimeBuilder, ENVELOPE_BYTES};
+pub use runtime::{HomeMap, RunSummary, Runtime, RuntimeBuilder, Unrecoverable, ENVELOPE_BYTES};
 
 // Re-exported so applications depending on charm-core alone can name the
 // machine substrate.

@@ -7,7 +7,7 @@ use crate::array::{AnyArray, ArrayId, ArrayProxy, ArrayStore, ObjId, Payload};
 use crate::chare::{Callback, Chare, RedOp, RedValue, SysEvent};
 use crate::ctrl::{ControlRegistry, ControlValues};
 use crate::ctx::{Action, Ctx};
-use crate::ft::MemCheckpoint;
+use crate::ft::{MemCheckpoint, PendingCkpt};
 use crate::lbframework::{LbRound, LbStats, LbTrigger, ObjStat, Strategy};
 use crate::power::DvfsScheme;
 use charm_machine::thermal::ThermalModel;
@@ -64,8 +64,14 @@ pub(crate) enum Ev {
     },
     /// Periodic temperature sampling / DVFS control.
     DvfsTick,
-    /// A node (single PE process) crashes.
+    /// A node crashes, killing every PE in its range (the `pe` names any PE
+    /// on the failing node).
     NodeFail { pe: usize },
+    /// The in-flight double in-memory checkpoint finishes replicating and
+    /// becomes the recovery point.
+    CkptCommit,
+    /// Automatic periodic checkpoint tick.
+    AutoCkpt,
     /// Malleable reconfiguration to a new PE count (§III-D).
     Reconfigure { to: usize },
     /// An RTS-scheduled load-balancing round (cloud/thermal triggers).
@@ -158,6 +164,38 @@ pub struct RunSummary {
     pub avg_utilization: f64,
 }
 
+/// A failure (or cascade) destroyed state that no surviving checkpoint
+/// copy covers: the run cannot be rolled back to a consistent snapshot.
+///
+/// Returned by [`Runtime::run_checked`]; surviving PEs keep draining their
+/// work, but lost chares are gone and the result is not trustworthy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unrecoverable {
+    /// Virtual time of the fatal failure.
+    pub at: SimTime,
+    /// PEs that died in the fatal event (the whole node range).
+    pub failed_pes: Vec<usize>,
+    /// Chares whose state was lost outright.
+    pub lost_chares: usize,
+    /// Why recovery was impossible.
+    pub reason: String,
+}
+
+impl std::fmt::Display for Unrecoverable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unrecoverable failure at {:.6}s (PEs {:?}, {} chare(s) lost): {}",
+            self.at.as_secs_f64(),
+            self.failed_pes,
+            self.lost_chares,
+            self.reason
+        )
+    }
+}
+
+impl std::error::Error for Unrecoverable {}
+
 /// Configures and constructs a [`Runtime`].
 pub struct RuntimeBuilder {
     machine: MachineConfig,
@@ -171,6 +209,7 @@ pub struct RuntimeBuilder {
     location_cache: bool,
     collective_arity: u64,
     track_comm: bool,
+    auto_ckpt: Option<SimTime>,
 }
 
 impl RuntimeBuilder {
@@ -240,6 +279,15 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Take a double in-memory checkpoint automatically every `interval`
+    /// of virtual time (§III-B). Ticks re-arm only while application work
+    /// is outstanding, so the run still terminates when the job drains.
+    pub fn auto_checkpoint(mut self, interval: SimTime) -> Self {
+        assert!(interval > SimTime::ZERO, "checkpoint interval must be positive");
+        self.auto_ckpt = Some(interval);
+        self
+    }
+
     /// Construct the runtime.
     pub fn build(self) -> Runtime {
         let n = self.machine.num_pes;
@@ -255,6 +303,9 @@ impl RuntimeBuilder {
             .map(|cfg| ThermalModel::new(cfg.clone(), self.machine.num_chips()));
         if thermal.is_some() {
             events.push(self.dvfs_period, Ev::DvfsTick);
+        }
+        if let Some(interval) = self.auto_ckpt {
+            events.push(interval, Ev::AutoCkpt);
         }
         let net = NetworkModel::new(self.machine.network.clone(), self.seed);
         let num_chips = self.machine.num_chips();
@@ -286,6 +337,10 @@ impl RuntimeBuilder {
             at_sync_seen: 0,
             lb_rounds: Vec::new(),
             mem_ckpt: None,
+            ckpt_pending: None,
+            copy_missing: HashMap::new(),
+            auto_ckpt_interval: self.auto_ckpt,
+            unrecoverable: None,
             thermal,
             dvfs: self.dvfs,
             dvfs_period: self.dvfs_period,
@@ -343,6 +398,18 @@ pub struct Runtime {
     pub(crate) at_sync_seen: usize,
     pub(crate) lb_rounds: Vec<LbRound>,
     pub(crate) mem_ckpt: Option<MemCheckpoint>,
+    /// A checkpoint whose buddy replication is still in flight; it becomes
+    /// `mem_ckpt` only when the matching [`Ev::CkptCommit`] fires. A failure
+    /// before then aborts it (rollback uses the previous `mem_ckpt`).
+    pub(crate) ckpt_pending: Option<PendingCkpt>,
+    /// PEs whose held checkpoint copies are invalid until the given time
+    /// (the restart protocol is still re-replicating them). A failure that
+    /// lands inside such a window widens the effective dead set.
+    pub(crate) copy_missing: HashMap<usize, SimTime>,
+    /// Automatic checkpoint period, when enabled.
+    pub(crate) auto_ckpt_interval: Option<SimTime>,
+    /// Set (once, sticky) when a failure destroys state beyond recovery.
+    pub(crate) unrecoverable: Option<Unrecoverable>,
     pub(crate) thermal: Option<ThermalModel>,
     pub(crate) dvfs: DvfsScheme,
     pub(crate) dvfs_period: SimTime,
@@ -388,6 +455,7 @@ impl Runtime {
             location_cache: true,
             collective_arity: 2,
             track_comm: false,
+            auto_ckpt: None,
         }
     }
 
@@ -602,6 +670,28 @@ impl Runtime {
         self.run_until(deadline)
     }
 
+    /// Like [`run`](Self::run), but surfaces fatal state loss: if any
+    /// failure (or cascade) destroyed chare state that no surviving
+    /// checkpoint copy covered, the run outcome is [`Unrecoverable`]
+    /// instead of a summary that silently omits the lost work.
+    pub fn run_checked(&mut self) -> Result<RunSummary, Unrecoverable> {
+        self.run_until_checked(SimTime::MAX)
+    }
+
+    /// [`run_checked`](Self::run_checked) with a virtual-time budget.
+    pub fn run_until_checked(&mut self, deadline: SimTime) -> Result<RunSummary, Unrecoverable> {
+        let summary = self.run_until(deadline);
+        match &self.unrecoverable {
+            Some(u) => Err(u.clone()),
+            None => Ok(summary),
+        }
+    }
+
+    /// The fatal-failure record, if a failure destroyed unrecoverable state.
+    pub fn unrecoverable(&self) -> Option<&Unrecoverable> {
+        self.unrecoverable.as_ref()
+    }
+
     /// Summary of progress so far.
     pub fn summary(&self) -> RunSummary {
         let elapsed = self.now.as_secs_f64();
@@ -641,6 +731,10 @@ impl Runtime {
                 self.try_start(pe);
             }
             Ev::PeFree { pe } => {
+                if !self.pes[pe].alive {
+                    // The PE died mid-entry; the completion never happens.
+                    return;
+                }
                 let (dst, dur) = self.pes[pe]
                     .current
                     .take()
@@ -673,6 +767,8 @@ impl Runtime {
             }
             Ev::DvfsTick => self.on_dvfs_tick(),
             Ev::NodeFail { pe } => self.on_node_failure(pe),
+            Ev::CkptCommit => self.on_ckpt_commit(),
+            Ev::AutoCkpt => self.on_auto_ckpt(),
             Ev::Reconfigure { to } => self.on_reconfigure(to),
             Ev::RtsLb => self.rts_triggered_lb(),
         }

@@ -1,0 +1,188 @@
+//! Disk-checkpoint integrity: every corruption mode the machine crate's
+//! [`DiskFault`] injector produces must be rejected by `restore_from_disk`
+//! with a structured [`RestoreError`] — no panics, no silently restoring
+//! garbage, no partially-applied state.
+
+use charm_core::machine::DiskFault;
+use charm_core::{Chare, Ctx, Ix, RestoreError, Runtime};
+use charm_pup::{Pup, Puper};
+use std::path::{Path, PathBuf};
+
+#[derive(Default)]
+struct Cell {
+    value: u64,
+}
+
+impl Pup for Cell {
+    fn pup(&mut self, p: &mut Puper) {
+        p.p(&mut self.value);
+    }
+}
+
+impl Chare for Cell {
+    type Msg = u64;
+    fn on_message(&mut self, msg: u64, _ctx: &mut Ctx<'_>) {
+        self.value = msg;
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("charm_rs_disk_integrity");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Write a small checkpoint and return (path, pristine image bytes).
+fn write_checkpoint(name: &str) -> (PathBuf, Vec<u8>) {
+    let path = tmp(name);
+    let mut rt = Runtime::homogeneous(4);
+    let cells = rt.create_array::<Cell>("cells");
+    for i in 0..16 {
+        rt.insert(cells, Ix::i1(i), Cell { value: 1000 + i as u64 }, None);
+    }
+    rt.checkpoint_to_disk(&path).expect("write checkpoint");
+    let image = std::fs::read(&path).unwrap();
+    (path, image)
+}
+
+/// A runtime with the matching array registered, ready to restore into.
+fn fresh_runtime() -> Runtime {
+    let mut rt = Runtime::homogeneous(2);
+    rt.create_array::<Cell>("cells");
+    rt
+}
+
+fn restore(path: &Path) -> Result<(), RestoreError> {
+    fresh_runtime().restore_from_disk(path).map(|_| ())
+}
+
+#[test]
+fn pristine_checkpoint_restores() {
+    let (path, _) = write_checkpoint("pristine.ckpt");
+    let mut rt = fresh_runtime();
+    rt.restore_from_disk(&path).expect("pristine image restores");
+    let cells = rt.array_id("cells").unwrap();
+    assert_eq!(rt.array_len(cells), 16);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncation_is_rejected() {
+    let (path, image) = write_checkpoint("trunc.ckpt");
+    // Cut at several depths: inside the magic, inside the header, and at
+    // various points of the payload.
+    for keep in [0, 4, 12, 19, 20, image.len() / 2, image.len() - 1] {
+        let damaged = DiskFault::Truncate { keep_bytes: keep }.apply(&image);
+        std::fs::write(&path, &damaged).unwrap();
+        let err = restore(&path).unwrap_err();
+        assert!(
+            matches!(err, RestoreError::Truncated { .. } | RestoreError::BadMagic { .. }),
+            "keep={keep}: got {err:?}"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bit_flips_are_rejected_at_every_offset() {
+    let (path, image) = write_checkpoint("flip.ckpt");
+    // A single flipped bit anywhere in the image must surface as a
+    // structured error: in the magic → BadMagic, in the length → Truncated
+    // or a checksum over the wrong span, in the CRC field or payload →
+    // ChecksumMismatch.
+    for offset in 0..image.len() {
+        let damaged = DiskFault::BitFlip { offset, bit: (offset % 8) as u8 }.apply(&image);
+        std::fs::write(&path, &damaged).unwrap();
+        let err = restore(&path).unwrap_err();
+        match (offset, &err) {
+            (0..=7, RestoreError::BadMagic { .. }) => {}
+            (8..=15, RestoreError::Truncated { .. } | RestoreError::ChecksumMismatch { .. }) => {}
+            (_, RestoreError::ChecksumMismatch { .. }) => {}
+            _ => panic!("offset {offset}: unexpected {err:?}"),
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn torn_writes_are_rejected() {
+    let (path, image) = write_checkpoint("torn.ckpt");
+    for from in [0, 8, 20, image.len() / 2, image.len() - 2] {
+        let damaged = DiskFault::TornWrite { from_byte: from }.apply(&image);
+        if damaged == image {
+            // The zeroed tail was already zero — not actually corrupted.
+            continue;
+        }
+        std::fs::write(&path, &damaged).unwrap();
+        let err = restore(&path).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RestoreError::BadMagic { .. }
+                    | RestoreError::Truncated { .. }
+                    | RestoreError::ChecksumMismatch { .. }
+            ),
+            "from={from}: got {err:?}"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn missing_file_and_old_format_are_rejected() {
+    let err = restore(&tmp("does_not_exist.ckpt")).unwrap_err();
+    assert!(matches!(err, RestoreError::Io(_)), "got {err:?}");
+
+    // A previous-generation (v1) image has a different magic.
+    let path = tmp("v1.ckpt");
+    let mut v1 = b"CHMCKPT1".to_vec();
+    v1.extend_from_slice(&0u64.to_le_bytes());
+    std::fs::write(&path, &v1).unwrap();
+    let err = restore(&path).unwrap_err();
+    assert!(matches!(err, RestoreError::BadMagic { .. }), "got {err:?}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn rejected_restore_leaves_runtime_untouched() {
+    let (path, image) = write_checkpoint("untouched.ckpt");
+    let damaged = DiskFault::BitFlip { offset: image.len() - 1, bit: 7 }.apply(&image);
+    std::fs::write(&path, &damaged).unwrap();
+
+    let mut rt = fresh_runtime();
+    rt.restore_from_disk(&path).unwrap_err();
+    let cells = rt.array_id("cells").unwrap();
+    assert_eq!(rt.array_len(cells), 0, "no partial restore");
+
+    // The same runtime can still restore the pristine image afterwards.
+    std::fs::write(&path, &image).unwrap();
+    rt.restore_from_disk(&path).expect("pristine restore after rejection");
+    assert_eq!(rt.array_len(cells), 16);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn checkpoint_write_is_atomic() {
+    // The write goes through a temp file + rename: after a successful
+    // checkpoint no temp file remains, and overwriting an existing
+    // checkpoint never leaves a mixed image behind.
+    let (path, image) = write_checkpoint("atomic.ckpt");
+    assert!(!path.with_extension("ckpt.tmp").exists());
+    let tmp_path: PathBuf = {
+        let mut s = path.as_os_str().to_os_string();
+        s.push(".tmp");
+        s.into()
+    };
+    assert!(!tmp_path.exists(), "temp file renamed away");
+
+    let mut rt = Runtime::homogeneous(4);
+    let cells = rt.create_array::<Cell>("cells");
+    for i in 0..16 {
+        rt.insert(cells, Ix::i1(i), Cell { value: 2000 + i as u64 }, None);
+    }
+    rt.checkpoint_to_disk(&path).expect("overwrite checkpoint");
+    let new_image = std::fs::read(&path).unwrap();
+    assert_ne!(new_image, image);
+    restore(&path).expect("overwritten checkpoint is whole");
+    std::fs::remove_file(&path).ok();
+}

@@ -3,7 +3,7 @@
 //! different PE count, and malleable shrink/expand.
 
 use charm_core::{
-    Callback, Chare, Ctx, Ix, RedOp, RedValue, Runtime, SimTime, SysEvent,
+    Callback, Chare, Ctx, Ix, MachineConfig, RedOp, RedValue, Runtime, SimTime, SysEvent,
 };
 use charm_pup::{Pup, Puper};
 
@@ -101,7 +101,10 @@ impl Chare for Main {
 }
 
 fn build(num_pes: usize) -> Runtime {
-    let mut rt = Runtime::homogeneous(num_pes);
+    build_rt(Runtime::homogeneous(num_pes))
+}
+
+fn build_rt(mut rt: Runtime) -> Runtime {
     let workers = rt.create_array::<Worker>("workers");
     let main = rt.create_array::<Main>("main");
     for i in 0..WORKERS {
@@ -209,8 +212,226 @@ fn restore_requires_registered_arrays() {
 
     let mut rt2 = Runtime::homogeneous(2);
     let err = rt2.restore_from_disk(&path).unwrap_err();
-    assert!(err.contains("not registered"), "got: {err}");
+    assert!(
+        matches!(err, charm_core::RestoreError::MissingArray { .. }),
+        "got: {err:?}"
+    );
+    assert!(err.to_string().contains("not registered"), "got: {err}");
     std::fs::remove_file(&path).ok();
+}
+
+/// A chare that self-messages to a target count — progress that needs no
+/// peers, so survivors of an unrecovered failure can still finish.
+#[derive(Default)]
+struct Pinger {
+    count: u64,
+}
+
+impl Pup for Pinger {
+    fn pup(&mut self, p: &mut Puper) {
+        p.p(&mut self.count);
+    }
+}
+
+impl Chare for Pinger {
+    type Msg = Step;
+    fn on_message(&mut self, Step(n): Step, ctx: &mut Ctx<'_>) {
+        self.count = n + 1;
+        ctx.work(1e6);
+        if self.count < 5 {
+            let me = charm_core::ArrayProxy::<Pinger>::from_id(ctx.my_id().array);
+            ctx.send(me, ctx.my_index(), Step(self.count));
+        }
+    }
+}
+
+#[test]
+fn node_failure_kills_every_pe_on_the_node() {
+    // 8 PEs grouped into 2-PE nodes, no checkpoint: a failure named for
+    // PE 4 must also take out its node sibling, PE 5.
+    let machine = MachineConfig::homogeneous(8).with_pes_per_node(2);
+    let mut rt = Runtime::builder(machine).build();
+    let pingers = rt.create_array::<Pinger>("pingers");
+    for i in 0..8 {
+        rt.insert(pingers, Ix::i1(i), Pinger::default(), Some(i as usize));
+    }
+    rt.schedule_failure(SimTime::from_nanos(10), 4);
+    rt.run();
+    let dead: Vec<f64> = rt.metric("unrecovered_failures").iter().map(|m| m.1).collect();
+    assert_eq!(dead, vec![4.0, 5.0], "the whole node died");
+    let u = rt.unrecoverable().expect("chares lost with no checkpoint");
+    assert_eq!(u.failed_pes, vec![4, 5]);
+    assert_eq!(u.lost_chares, 2);
+}
+
+#[test]
+fn recovers_from_multi_pe_node_failure() {
+    // With a checkpoint, a whole-node (2 PE) failure restarts and the job
+    // still completes.
+    let machine = MachineConfig::homogeneous(8).with_pes_per_node(2);
+    let mut rt = build_rt(Runtime::builder(machine).build());
+    rt.schedule_failure(SimTime::from_millis(40), 5);
+    rt.run_checked().expect("whole-node failure is recoverable");
+    let steps: Vec<f64> = rt.metric("step_done").iter().map(|s| s.1).collect();
+    assert_eq!(*steps.last().unwrap(), TARGET_STEPS as f64);
+    let recovered: Vec<f64> = rt.metric("failures_recovered").iter().map(|m| m.1).collect();
+    assert_eq!(recovered, vec![4.0, 5.0], "both node PEs restarted");
+    assert_eq!(rt.metric("restart_time_s").len(), 1);
+}
+
+#[test]
+fn survivors_keep_running_after_unrecovered_failure() {
+    // No checkpoint: the chare on PE 2 is lost, but the one on PE 0 still
+    // drives itself to completion, and the outcome is typed.
+    let mut rt = Runtime::homogeneous(4);
+    let pingers = rt.create_array::<Pinger>("pingers");
+    rt.insert(pingers, Ix::i1(0), Pinger::default(), Some(0));
+    rt.insert(pingers, Ix::i1(1), Pinger::default(), Some(2));
+    rt.send(pingers, Ix::i1(0), Step(0));
+    rt.send(pingers, Ix::i1(1), Step(0));
+    rt.schedule_failure(SimTime::from_nanos(10), 2);
+    let err = rt.run_checked().unwrap_err();
+    assert_eq!(err.failed_pes, vec![2]);
+    assert_eq!(err.lost_chares, 1);
+    assert!(err.reason.contains("no committed checkpoint"), "got: {}", err.reason);
+    assert_eq!(rt.metric("unrecovered_failures").len(), 1);
+    assert_eq!(
+        rt.inspect(pingers, &Ix::i1(0), |p| p.count),
+        Some(5),
+        "the survivor finished its work"
+    );
+}
+
+#[test]
+fn failure_of_empty_pe_without_checkpoint_is_survivable() {
+    // The dead PE hosted no chares: nothing is lost, so the run completes
+    // and `run_checked` succeeds (the PE death is still recorded).
+    let mut rt = Runtime::homogeneous(4);
+    let pingers = rt.create_array::<Pinger>("pingers");
+    rt.insert(pingers, Ix::i1(0), Pinger::default(), Some(0));
+    rt.send(pingers, Ix::i1(0), Step(0));
+    rt.schedule_failure(SimTime::from_nanos(10), 3);
+    rt.run_checked().expect("no state was lost");
+    assert_eq!(rt.metric("unrecovered_failures").len(), 1);
+    assert_eq!(rt.inspect(pingers, &Ix::i1(0), |p| p.count), Some(5));
+}
+
+#[test]
+fn buddy_pair_failure_is_unrecoverable() {
+    // Simultaneously killing a PE and its buddy destroys both checkpoint
+    // copies of that PE's chares — typed Unrecoverable, no panic, no hang.
+    let pe = 1usize;
+    let buddy = charm_core::buddy_pe(pe, 8);
+    let mut rt = build(8);
+    rt.schedule_failure(SimTime::from_millis(40), pe);
+    rt.schedule_failure(SimTime::from_millis(40), buddy);
+    let err = rt.run_checked().unwrap_err();
+    assert!(err.lost_chares > 0);
+    assert!(err.reason.contains("both checkpoint copies"), "got: {}", err.reason);
+    assert_eq!(rt.metric("unrecoverable_failures").len(), 1);
+}
+
+#[test]
+fn non_buddy_simultaneous_failures_recover() {
+    // Two failures at the same instant on non-buddy PEs: each lost copy
+    // has a live twin, so rollback succeeds (8 PEs: buddy(1)=5, so 1+2 is
+    // safe).
+    let mut rt = build(8);
+    rt.schedule_failure(SimTime::from_millis(40), 1);
+    rt.schedule_failure(SimTime::from_millis(40), 2);
+    rt.run_checked().expect("non-overlapping copies survive");
+    let steps: Vec<f64> = rt.metric("step_done").iter().map(|s| s.1).collect();
+    assert_eq!(*steps.last().unwrap(), TARGET_STEPS as f64);
+    assert!(rt.metric("restart_time_s").len() >= 2);
+}
+
+#[test]
+fn cascade_into_restart_window_can_be_unrecoverable() {
+    // Probe the first restart to learn its protocol window, then cascade:
+    // kill the buddy of the first victim while the victim's replacement is
+    // still rebuilding its copies. Both copies of the victim's chares are
+    // now gone.
+    let mut probe = build(8);
+    probe.schedule_failure(SimTime::from_millis(40), 1);
+    probe.run();
+    let (restart_at, restart_dur) = probe.metric("restart_time_s")[0];
+    let mid = SimTime::from_secs_f64(restart_at + restart_dur / 2.0);
+
+    let mut rt = build(8);
+    rt.schedule_failure(SimTime::from_millis(40), 1);
+    rt.schedule_failure(mid, charm_core::buddy_pe(1, 8));
+    let err = rt.run_checked().unwrap_err();
+    assert!(err.reason.contains("both checkpoint copies"), "got: {}", err.reason);
+
+    // The same second failure after the window closes is recoverable.
+    let after = SimTime::from_secs_f64(restart_at + restart_dur) + SimTime::from_millis(5);
+    let mut rt = build(8);
+    rt.schedule_failure(SimTime::from_millis(40), 1);
+    rt.schedule_failure(after, charm_core::buddy_pe(1, 8));
+    rt.run_checked().expect("sequential buddy failures with rebuilt copies recover");
+}
+
+#[test]
+fn failure_during_checkpoint_window_aborts_pending() {
+    // Probe run: find the (deterministic) checkpoint replication window.
+    let mut probe = build(8);
+    probe.run();
+    assert_eq!(probe.metric("ckpt_committed").len(), 1);
+    let (at, dur) = probe.metric("ckpt_time_s")[0];
+    let mid = SimTime::from_secs_f64(at + dur / 2.0);
+
+    // A failure inside the window aborts the pending snapshot. No earlier
+    // checkpoint had committed, so the run is unrecoverable — the aborted
+    // half-replicated snapshot must never be restored.
+    let mut rt = build(8);
+    rt.schedule_failure(mid, 2);
+    let err = rt.run_checked().unwrap_err();
+    assert_eq!(rt.metric("ckpt_aborted").len(), 1);
+    assert_eq!(rt.metric("ckpt_committed").len(), 0);
+    assert!(err.reason.contains("no committed checkpoint"), "got: {}", err.reason);
+}
+
+#[test]
+fn failure_during_later_checkpoint_rolls_back_to_previous() {
+    // Auto-checkpointing takes several checkpoints; a failure inside a
+    // later replication window aborts that snapshot and rolls back to the
+    // previous committed one — the job still finishes.
+    let build_auto = || {
+        build_rt(
+            Runtime::builder(MachineConfig::homogeneous(8))
+                .auto_checkpoint(SimTime::from_millis(10))
+                .build(),
+        )
+    };
+    let mut probe = build_auto();
+    probe.run();
+    let ckpts = probe.metric("ckpt_time_s").to_vec();
+    assert!(ckpts.len() >= 2, "auto-checkpointing ran repeatedly: {ckpts:?}");
+    assert!(probe.metric("ckpt_committed").len() >= 2);
+    let (at, dur) = ckpts[1];
+    let mid = SimTime::from_secs_f64(at + dur / 2.0);
+
+    let mut rt = build_auto();
+    rt.schedule_failure(mid, 3);
+    rt.run_checked().expect("previous committed checkpoint still valid");
+    assert_eq!(rt.metric("ckpt_aborted").len(), 1);
+    assert!(!rt.metric("restart_time_s").is_empty());
+    let steps: Vec<f64> = rt.metric("step_done").iter().map(|s| s.1).collect();
+    assert_eq!(*steps.last().unwrap(), TARGET_STEPS as f64);
+}
+
+#[test]
+fn auto_checkpoint_terminates_when_job_drains() {
+    // The periodic tick must not keep an otherwise-finished run alive.
+    let mut rt = Runtime::builder(MachineConfig::homogeneous(4))
+        .auto_checkpoint(SimTime::from_millis(1))
+        .build();
+    let pingers = rt.create_array::<Pinger>("pingers");
+    rt.insert(pingers, Ix::i1(0), Pinger::default(), Some(0));
+    rt.send(pingers, Ix::i1(0), Step(0));
+    let s = rt.run(); // would hang here if ticks re-armed forever
+    assert!(s.end_time < SimTime::from_secs(1));
+    assert_eq!(rt.inspect(pingers, &Ix::i1(0), |p| p.count), Some(5));
 }
 
 #[test]

@@ -48,6 +48,63 @@ impl DiskModel {
     }
 }
 
+/// A storage fault to inject into a serialized checkpoint image.
+///
+/// Models the ways a checkpoint file goes bad on real systems: a writer
+/// dying mid-stream (torn write), silent media corruption (bit flip), and
+/// lost trailing data (truncation). `restore_from_disk` must reject every
+/// one of these with a structured error rather than panicking or silently
+/// restoring garbage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// Drop everything past `keep_bytes` (file cut short).
+    Truncate {
+        /// Prefix length preserved.
+        keep_bytes: usize,
+    },
+    /// Flip one bit: bit `bit` (0–7) of the byte at `offset`.
+    BitFlip {
+        /// Byte offset of the corrupted byte.
+        offset: usize,
+        /// Which bit of that byte flips.
+        bit: u8,
+    },
+    /// A torn write: the tail from `from_byte` on was never persisted and
+    /// reads back as zeroes (the file keeps its full length).
+    TornWrite {
+        /// First byte of the unpersisted tail.
+        from_byte: usize,
+    },
+}
+
+impl DiskFault {
+    /// Apply the fault to a checkpoint image, returning the damaged bytes.
+    /// Out-of-range offsets clamp to the image, so a fault built for a
+    /// larger image still damages a smaller one.
+    pub fn apply(&self, image: &[u8]) -> Vec<u8> {
+        let mut out = image.to_vec();
+        if out.is_empty() {
+            return out;
+        }
+        match *self {
+            DiskFault::Truncate { keep_bytes } => {
+                out.truncate(keep_bytes.min(out.len().saturating_sub(1)));
+            }
+            DiskFault::BitFlip { offset, bit } => {
+                let i = offset.min(out.len() - 1);
+                out[i] ^= 1 << (bit % 8);
+            }
+            DiskFault::TornWrite { from_byte } => {
+                let i = from_byte.min(out.len().saturating_sub(1));
+                for b in &mut out[i..] {
+                    *b = 0;
+                }
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,5 +137,32 @@ mod tests {
     fn read_equals_write_model() {
         let d = DiskModel::default();
         assert_eq!(d.read_time(64, 123_456), d.write_time(64, 123_456));
+    }
+
+    #[test]
+    fn disk_faults_damage_images() {
+        let image: Vec<u8> = (0..64u8).collect();
+        let t = DiskFault::Truncate { keep_bytes: 10 }.apply(&image);
+        assert_eq!(t, &image[..10]);
+        let b = DiskFault::BitFlip { offset: 5, bit: 3 }.apply(&image);
+        assert_eq!(b.len(), image.len());
+        assert_eq!(b[5], image[5] ^ 0b1000);
+        assert_eq!(&b[..5], &image[..5]);
+        let w = DiskFault::TornWrite { from_byte: 60 }.apply(&image);
+        assert_eq!(w.len(), image.len());
+        assert_eq!(&w[..60], &image[..60]);
+        assert!(w[60..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn disk_faults_clamp_to_image() {
+        let image = vec![0xFFu8; 8];
+        // Offsets past the end damage the last byte / never grow the image.
+        assert_eq!(DiskFault::Truncate { keep_bytes: 99 }.apply(&image).len(), 7);
+        let b = DiskFault::BitFlip { offset: 99, bit: 0 }.apply(&image);
+        assert_eq!(b[7], 0xFE);
+        let w = DiskFault::TornWrite { from_byte: 99 }.apply(&image);
+        assert_eq!(w[7], 0);
+        assert!(DiskFault::BitFlip { offset: 0, bit: 0 }.apply(&[]).is_empty());
     }
 }

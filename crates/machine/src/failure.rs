@@ -30,10 +30,33 @@ impl FailurePlan {
         FailurePlan { events }
     }
 
-    /// Add one failure.
+    /// Add one failure at its sorted position (stable: a failure inserted
+    /// at an already-occupied time lands after the existing ones).
     pub fn push(&mut self, time: SimTime, pe: usize) {
-        self.events.push(Failure { time, pe });
-        self.events.sort_by_key(|f| f.time);
+        let at = self.events.partition_point(|f| f.time <= time);
+        self.events.insert(at, Failure { time, pe });
+    }
+
+    /// Merge another plan into this one, keeping time order (stable: on
+    /// ties, this plan's failures come first).
+    pub fn merge(&mut self, other: &FailurePlan) {
+        let mut merged = Vec::with_capacity(self.events.len() + other.events.len());
+        let (mut a, mut b) = (self.events.iter().peekable(), other.events.iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => {
+                    if x.time <= y.time {
+                        merged.push(*a.next().unwrap());
+                    } else {
+                        merged.push(*b.next().unwrap());
+                    }
+                }
+                (Some(_), None) => merged.extend(a.by_ref().copied()),
+                (None, Some(_)) => merged.extend(b.by_ref().copied()),
+                (None, None) => break,
+            }
+        }
+        self.events = merged;
     }
 
     /// All scheduled failures in time order.
@@ -75,5 +98,34 @@ mod tests {
         p.push(SimTime::from_secs(1), 7);
         assert_eq!(p.events()[0].pe, 7);
         assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn push_inserts_at_sorted_position_stably() {
+        let mut p = FailurePlan::none();
+        p.push(SimTime::from_secs(3), 0);
+        p.push(SimTime::from_secs(1), 1);
+        p.push(SimTime::from_secs(3), 2); // tie: lands after pe 0
+        p.push(SimTime::from_secs(2), 3);
+        let pes: Vec<usize> = p.events().iter().map(|f| f.pe).collect();
+        assert_eq!(pes, vec![1, 3, 0, 2]);
+        assert!(p.events().windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn merge_interleaves_two_plans() {
+        let mut a = FailurePlan::none();
+        a.push(SimTime::from_secs(1), 10);
+        a.push(SimTime::from_secs(4), 11);
+        let mut b = FailurePlan::none();
+        b.push(SimTime::from_secs(2), 20);
+        b.push(SimTime::from_secs(4), 21); // tie with a's second: a first
+        b.push(SimTime::from_secs(9), 22);
+        a.merge(&b);
+        let pes: Vec<usize> = a.events().iter().map(|f| f.pe).collect();
+        assert_eq!(pes, vec![10, 20, 11, 21, 22]);
+        let mut empty = FailurePlan::none();
+        empty.merge(&FailurePlan::none());
+        assert!(empty.is_empty());
     }
 }

@@ -31,7 +31,7 @@ pub mod thermal;
 mod time;
 pub mod topology;
 
-pub use disk::DiskModel;
+pub use disk::{DiskFault, DiskModel};
 pub use events::EventQueue;
 pub use failure::FailurePlan;
 pub use network::{NetworkModel, NetworkParams};
@@ -55,6 +55,9 @@ pub struct MachineConfig {
     /// Cores grouped onto one chip — the granularity of the thermal model
     /// and of DVFS decisions.
     pub cores_per_chip: usize,
+    /// PEs sharing one physical node — the granularity of failures: when a
+    /// node dies, every PE in its range dies with it.
+    pub pes_per_node: usize,
     /// Reference compute throughput of one PE, in work-units per second.
     /// Entry methods declare their cost in work-units; a PE at speed 1.0
     /// executes `flops_per_sec` of them per virtual second.
@@ -79,6 +82,7 @@ impl MachineConfig {
             name: format!("generic-{num_pes}"),
             num_pes,
             cores_per_chip: 16,
+            pes_per_node: 1,
             flops_per_sec: 1e9,
             network: NetworkParams::infiniband(),
             thermal: None,
@@ -105,6 +109,30 @@ impl MachineConfig {
     pub fn chip_of(&self, pe: usize) -> usize {
         pe / self.cores_per_chip
     }
+
+    /// Change the node size, keeping everything else (builder-style).
+    pub fn with_pes_per_node(mut self, pes_per_node: usize) -> Self {
+        assert!(pes_per_node >= 1, "a node holds at least one PE");
+        self.pes_per_node = pes_per_node;
+        self
+    }
+
+    /// Number of physical nodes implied by `num_pes` / `pes_per_node`.
+    pub fn num_nodes(&self) -> usize {
+        self.num_pes.div_ceil(self.pes_per_node.max(1))
+    }
+
+    /// Node that hosts a PE.
+    pub fn node_of(&self, pe: usize) -> usize {
+        pe / self.pes_per_node.max(1)
+    }
+
+    /// The PE range of one node (the last node may be partial).
+    pub fn node_pe_range(&self, node: usize) -> std::ops::Range<usize> {
+        let ppn = self.pes_per_node.max(1);
+        let start = node * ppn;
+        start..((start + ppn).min(self.num_pes))
+    }
 }
 
 #[cfg(test)]
@@ -119,6 +147,20 @@ mod tests {
         assert_eq!(m.chip_of(0), 0);
         assert_eq!(m.chip_of(17), 1);
         assert_eq!(m.chip_of(63), 3);
+    }
+
+    #[test]
+    fn node_geometry() {
+        let m = MachineConfig::homogeneous(64).with_pes_per_node(16);
+        assert_eq!(m.num_nodes(), 4);
+        assert_eq!(m.node_of(0), 0);
+        assert_eq!(m.node_of(15), 0);
+        assert_eq!(m.node_of(16), 1);
+        assert_eq!(m.node_pe_range(1), 16..32);
+        // Partial trailing node.
+        let m = MachineConfig::homogeneous(20).with_pes_per_node(16);
+        assert_eq!(m.num_nodes(), 2);
+        assert_eq!(m.node_pe_range(1), 16..20);
     }
 
     #[test]

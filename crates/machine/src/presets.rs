@@ -16,6 +16,7 @@ pub fn bgq(num_pes: usize) -> MachineConfig {
         name: format!("Vesta (IBM BG/Q) x{num_pes}"),
         num_pes,
         cores_per_chip: 16,
+        pes_per_node: 16,
         // modest per-core throughput; BG/Q cores are slow but plentiful
         flops_per_sec: 0.8e9,
         network: NetworkParams::bgq_torus(torus_dims_for(num_pes, 5)),
@@ -33,6 +34,7 @@ pub fn xe6(num_pes: usize) -> MachineConfig {
         name: format!("Blue Waters (Cray XE6) x{num_pes}"),
         num_pes,
         cores_per_chip: 16,
+        pes_per_node: 32,
         flops_per_sec: 2.3e9,
         network: NetworkParams::gemini_torus(torus_dims_for(num_pes, 3)),
         thermal: None,
@@ -48,6 +50,7 @@ pub fn xk7(num_pes: usize) -> MachineConfig {
         name: format!("Titan XK7 (CPU only) x{num_pes}"),
         num_pes,
         cores_per_chip: 16,
+        pes_per_node: 16,
         flops_per_sec: 2.2e9,
         network: NetworkParams::gemini_torus(torus_dims_for(num_pes, 3)),
         thermal: None,
@@ -63,6 +66,7 @@ pub fn xt5(num_pes: usize) -> MachineConfig {
         name: format!("Jaguar XT5 x{num_pes}"),
         num_pes,
         cores_per_chip: 12,
+        pes_per_node: 12,
         flops_per_sec: 1.8e9,
         network: NetworkParams::seastar_torus(torus_dims_for(num_pes, 3)),
         thermal: None,
@@ -79,6 +83,7 @@ pub fn hopper(num_pes: usize) -> MachineConfig {
         name: format!("Hopper (Cray XE6) x{num_pes}"),
         num_pes,
         cores_per_chip: 24,
+        pes_per_node: 24,
         flops_per_sec: 2.1e9,
         network: NetworkParams::gemini_torus(torus_dims_for(num_pes, 3)),
         thermal: None,
@@ -94,6 +99,7 @@ pub fn stampede(num_pes: usize) -> MachineConfig {
         name: format!("Stampede x{num_pes}"),
         num_pes,
         cores_per_chip: 16,
+        pes_per_node: 16,
         flops_per_sec: 2.7e9,
         network: NetworkParams::infiniband(),
         thermal: None,
@@ -110,6 +116,7 @@ pub fn cloud(num_pes: usize) -> MachineConfig {
         name: format!("private cloud (kvm, 1GigE) x{num_pes}"),
         num_pes,
         cores_per_chip: 4,
+        pes_per_node: 1,
         flops_per_sec: 2.0e9,
         network: NetworkParams::ethernet_1g(),
         thermal: None,
@@ -126,6 +133,7 @@ pub fn thermal_testbed(num_pes: usize) -> MachineConfig {
         name: format!("thermal testbed x{num_pes}"),
         num_pes,
         cores_per_chip: 4,
+        pes_per_node: 4,
         flops_per_sec: 2.0e9,
         network: NetworkParams::infiniband(),
         thermal: Some(ThermalConfig::fig4()),

@@ -1,0 +1,286 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Implements the slice of the criterion 0.5 API the workspace's benches
+//! use — `Criterion`, `Bencher::iter`, benchmark groups with throughput and
+//! sample-size knobs, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros — on top of plain `std::time::Instant` timing.
+//! No statistics, plots, or baselines: each benchmark is warmed up once and
+//! timed over `sample_size` batches, reporting the per-iteration mean.
+//!
+//! When the binary is invoked by `cargo test` (which passes `--test` to
+//! `harness = false` bench targets), every benchmark runs exactly one
+//! iteration so the suite stays fast while still exercising the code.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Build an id from the parameter's `Display` form.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// Build an id from a function name plus a parameter.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Throughput annotation for a benchmark group (recorded, shown in output).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to benchmark closures; `iter` runs and times the hot loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `iters` times back to back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Re-export so bench code written against criterion's `black_box` works.
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    default_sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            filter: None,
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Construct from the process's command line, the way
+    /// `criterion_main!` does. Recognises `--test` (one iteration per
+    /// benchmark, as passed by `cargo test` to `harness = false` targets)
+    /// and treats the first free argument as a substring filter.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                "--bench" => {}
+                s if s.starts_with('-') => {}
+                s => {
+                    if c.filter.is_none() {
+                        c.filter = Some(s.to_string());
+                    }
+                }
+            }
+        }
+        c
+    }
+
+    fn should_run(&self, name: &str) -> bool {
+        match &self.filter {
+            Some(f) => name.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    fn run_one(&mut self, name: &str, sample_size: u64, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.should_run(name) {
+            return;
+        }
+        let samples = if self.test_mode { 1 } else { sample_size.max(1) };
+        let iters_per_sample: u64 = 1;
+        // Warm-up pass (skipped in test mode to keep `cargo test` fast).
+        if !self.test_mode {
+            let mut warm = Bencher {
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut warm);
+        }
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        for _ in 0..samples {
+            let mut b = Bencher {
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            total += b.elapsed;
+            total_iters += b.iters;
+        }
+        let per_iter = total.as_secs_f64() / total_iters.max(1) as f64;
+        if self.test_mode {
+            println!("bench {name}: ok (1 iter, {:.3} ms)", per_iter * 1e3);
+        } else {
+            println!(
+                "bench {name}: {:.3} ms/iter over {total_iters} iters",
+                per_iter * 1e3
+            );
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<N: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        self.run_one(&name.to_string(), sample_size, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Print the closing line (criterion's summary hook; a no-op here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing throughput/sample-size settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Record the work done per iteration (annotates output only).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Set the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Run a benchmark inside the group.
+    pub fn bench_function<N: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let n = self.sample_size;
+        self.criterion.run_one(&full, n, &mut f);
+        self
+    }
+
+    /// Run a parameterised benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, N: fmt::Display, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: N,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let n = self.sample_size;
+        self.criterion.run_one(&full, n, &mut |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {
+        let _ = self.throughput;
+    }
+}
+
+/// Bundle benchmark functions into a group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn group_runs_with_input_and_filters() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("keep".into()),
+            ..Criterion::default()
+        };
+        let mut kept = 0u32;
+        let mut skipped = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Bytes(64));
+            g.sample_size(10);
+            g.bench_with_input(BenchmarkId::from_parameter("keep"), &3u32, |b, &x| {
+                b.iter(|| kept += x)
+            });
+            g.bench_function("other", |b| b.iter(|| skipped += 1));
+            g.finish();
+        }
+        assert!(kept >= 3);
+        assert_eq!(skipped, 0);
+    }
+}

@@ -1,0 +1,646 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! The container this repo builds in cannot reach crates.io, so this crate
+//! implements the slice of the proptest 1.x API the workspace's property
+//! tests use: the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`]
+//! macros, [`strategy::Strategy`] with `prop_map` and `boxed`,
+//! [`arbitrary::any`], numeric range strategies, `".{a,b}"` string regex
+//! strategies, tuple strategies, [`collection::vec`] /
+//! [`collection::btree_map`], [`option::of`], and [`bool::ANY`].
+//!
+//! Differences from upstream, by design:
+//! - **No shrinking.** A failing case panics immediately with the case
+//!   index and the run's seed; re-run with `PROPTEST_SEED=<seed>` to
+//!   reproduce it exactly.
+//! - **Deterministic by default.** The seed is fixed unless
+//!   `PROPTEST_SEED` is set, so CI runs are reproducible.
+//! - String regexes support exactly the `".{a,b}"` form the workspace
+//!   uses (any-char repetitions); anything else panics loudly.
+
+pub mod test_runner {
+    /// Configuration for one `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases (proptest's constructor).
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed property, carrying the assertion message.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Build a failure from a message.
+        pub fn fail<S: Into<String>>(msg: S) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    /// Deterministic per-case random source (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed a generator.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            // Rejection sampling keeps it unbiased.
+            let zone = u64::MAX - (u64::MAX - n + 1) % n;
+            loop {
+                let v = self.next_u64();
+                if v <= zone {
+                    return v % n;
+                }
+            }
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Drives the cases of a single property test.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        name: &'static str,
+        seed: u64,
+    }
+
+    impl TestRunner {
+        /// Create a runner for the named test, honoring `PROPTEST_SEED`.
+        pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+            let seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(0xC0FFEE_D15EA5E5);
+            TestRunner { config, name, seed }
+        }
+
+        /// Run every case; panic with case index + seed on the first
+        /// failure (no shrinking).
+        pub fn run<F>(&mut self, f: &mut F)
+        where
+            F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+        {
+            for case in 0..self.config.cases {
+                // Per-case stream: decorrelate cases while keeping the
+                // whole run a pure function of (seed, test name).
+                let mut h: u64 = self.seed ^ (case as u64).wrapping_mul(0x2545F4914F6CDD1D);
+                for b in self.name.bytes() {
+                    h = (h ^ b as u64).wrapping_mul(0x100000001B3);
+                }
+                let mut rng = TestRng::new(h);
+                if let Err(TestCaseError(msg)) = f(&mut rng) {
+                    panic!(
+                        "proptest '{}' failed at case {}/{} (PROPTEST_SEED={}): {}",
+                        self.name, case, self.config.cases, self.seed, msg
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe core used by [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn dyn_generate(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy (`Strategy::boxed`).
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.dyn_generate(rng)
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    let off = if span == 0 { rng.next_u64() } else { rng.below(span) };
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    let off = if span == 0 { rng.next_u64() } else { rng.below(span) };
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            (self.start as f64 + rng.unit_f64() * (self.end - self.start) as f64) as f32
+        }
+    }
+
+    /// `".{a,b}"` string regex strategies: `a..=b` arbitrary characters.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (lo, hi) = parse_dot_repetition(self).unwrap_or_else(|| {
+                panic!(
+                    "vendored proptest only supports \".{{a,b}}\" string regexes, got {self:?}"
+                )
+            });
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            let mut s = String::with_capacity(len);
+            for _ in 0..len {
+                // Mostly printable ASCII, occasionally multi-byte chars so
+                // UTF-8 handling gets exercised.
+                let c = if rng.below(10) == 0 {
+                    const WIDE: [char; 6] = ['é', 'ß', '∀', '→', 'ツ', '🦀'];
+                    WIDE[rng.below(WIDE.len() as u64) as usize]
+                } else {
+                    (0x20u8 + rng.below(95) as u8) as char
+                };
+                s.push(c);
+            }
+            s
+        }
+    }
+
+    fn parse_dot_repetition(pattern: &str) -> Option<(usize, usize)> {
+        let body = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+        let (lo, hi) = body.split_once(',')?;
+        let lo: usize = lo.trim().parse().ok()?;
+        let hi: usize = hi.trim().parse().ok()?;
+        (lo <= hi).then_some((lo, hi))
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+ ))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy (`any::<T>()`).
+    pub trait Arbitrary {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        /// Finite floats over a wide dynamic range. NaN/Inf are excluded:
+        /// this workspace only compares floats through serialized bytes or
+        /// arithmetic, and finite values keep those checks meaningful.
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            let mantissa = rng.unit_f64() * 2.0 - 1.0;
+            let exp = rng.below(61) as i32 - 30;
+            mantissa * (2.0f64).powi(exp)
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f64::arbitrary(rng) as f32
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            char::from_u32(rng.below(0xD800) as u32).unwrap_or('?')
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeMap;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive element-count bounds for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy with element strategy and size bounds (a fixed
+    /// `usize`, `a..b`, or `a..=b`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The strategy returned by [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+
+    /// `BTreeMap` strategy (duplicate keys collapse, as upstream).
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy returned by [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // 1-in-4 None, matching upstream's default weighting.
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// `Option` strategy around an inner strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+pub mod bool {
+    use crate::arbitrary::Any;
+    use std::marker::PhantomData;
+
+    /// Uniform `bool` strategy.
+    pub const ANY: Any<bool> = Any(PhantomData);
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner =
+                $crate::test_runner::TestRunner::new($config, stringify!($name));
+            runner.run(&mut |__proptest_rng: &mut $crate::test_runner::TestRng|
+                -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                $(let $pat =
+                    $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+/// Assert inside a `proptest!` body; failure reports the case and seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `left == right`\n  left: {l:?}\n right: {r:?}"),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `left == right`\n  left: {l:?}\n right: {r:?}\n{}",
+                    format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::{btree_map, vec};
+    use crate::prelude::*;
+    use crate::strategy::BoxedStrategy;
+
+    fn nested() -> BoxedStrategy<(u64, Vec<String>)> {
+        (any::<u64>(), vec(".{0,5}", 0..4)).prop_map(|(n, v)| (n, v)).boxed()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges, tuples, vecs, maps, options, and bools all generate
+        /// in-bounds values.
+        #[test]
+        fn strategies_generate_in_bounds(
+            n in 3usize..9,
+            x in -5i64..5,
+            f in 0.25f64..2.0,
+            s in ".{2,6}",
+            v in vec(0u8..10, 1..5),
+            m in btree_map(any::<u32>(), ".{0,3}", 0..4),
+            o in crate::option::of((any::<u8>(), ".{0,2}")),
+            b in crate::bool::ANY,
+        ) {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!((0.25..2.0).contains(&f));
+            let chars = s.chars().count();
+            prop_assert!((2..=6).contains(&chars), "len {} of {:?}", chars, s);
+            prop_assert!(!v.is_empty() && v.len() < 5 && v.iter().all(|&e| e < 10));
+            prop_assert!(m.len() < 4);
+            if let Some((_, ref t)) = o {
+                prop_assert!(t.chars().count() <= 2);
+            }
+            prop_assert_eq!(b || !b, true);
+        }
+
+        #[test]
+        fn boxed_and_mapped_strategies_work(mut pair in nested()) {
+            pair.1.push(String::new());
+            prop_assert!(!pair.1.is_empty());
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_fixed_seed() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = vec(any::<u64>(), 0..20);
+        let a = strat.generate(&mut TestRng::new(42));
+        let b = strat.generate(&mut TestRng::new(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "string regexes")]
+    fn unsupported_regex_panics() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let _ = "[a-z]+".generate(&mut TestRng::new(1));
+    }
+}
