@@ -66,6 +66,8 @@ pub struct LeanMdConfig {
     pub strategy: Option<Box<dyn Strategy>>,
     /// Seed.
     pub seed: u64,
+    /// Projections-lite tracing (None = off; see `charm_core::trace`).
+    pub trace: Option<charm_core::TraceConfig>,
 }
 
 impl Default for LeanMdConfig {
@@ -85,6 +87,7 @@ impl Default for LeanMdConfig {
             reconfigure: Vec::new(),
             strategy: None,
             seed: 42,
+            trace: None,
         }
     }
 }
@@ -529,6 +532,9 @@ pub fn run_with_runtime(mut config: LeanMdConfig) -> (AppRun, Runtime) {
     .lb_trigger(LbTrigger::AtSync);
     if let Some(interval) = config.auto_ckpt {
         b = b.auto_checkpoint(interval);
+    }
+    if let Some(tc) = config.trace.take() {
+        b = b.tracing(tc);
     }
     let has_strategy = config.strategy.is_some();
     if let Some(s) = config.strategy.take() {

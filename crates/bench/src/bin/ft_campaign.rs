@@ -7,9 +7,15 @@
 //! simultaneous, cascade, buddy-pair, near-checkpoint), run with automatic
 //! periodic checkpointing, and classify the outcome as `correct`,
 //! `unrecoverable`, or `INCOMPLETE` (a protocol bug — the process exits
-//! non-zero). Reproduce any row by re-running with `CHARM_FT_SEED` set to
-//! the campaign seed printed in the header; schedules depend only on
-//! (campaign seed, app, run index).
+//! non-zero).
+//!
+//! Every `results/ftcamp.csv` row is reproducible *from the CSV alone*: it
+//! carries the app, schedule kind, per-run schedule seed, PE count, and the
+//! auto-checkpoint interval (full f64 round-trip precision), which are
+//! exactly the inputs of `gen_schedule` — no campaign seed or probe re-run
+//! needed. The explicit failure list is also recorded as a cross-check.
+//! Whole campaigns rerun with `CHARM_FT_SEED`/`CHARM_FT_RUNS`; schedules
+//! depend only on (campaign seed, app, run index).
 
 use charm_apps::leanmd::{self, LeanMdConfig};
 use charm_apps::stencil::{self, StencilConfig};
@@ -172,7 +178,7 @@ fn main() {
     let mut fig = Figure::new(
         "ftcamp",
         "fault-injection campaign: LeanMD + Stencil2D under seeded failure schedules",
-        &["app", "kind", "seed", "failures", "outcome", "detail"],
+        &["app", "kind", "seed", "pes", "ckpt_s", "failures", "outcome", "detail"],
     );
     fig.note(format!(
         "campaign seed {campaign_seed}, {runs_per_app} runs/app; \
@@ -218,6 +224,10 @@ fn main() {
                 app.to_string(),
                 kind.to_string(),
                 format!("{seed:#x}"),
+                pes.to_string(),
+                // f64 Display round-trips, so gen_schedule's inputs are
+                // recoverable exactly (t_free = 5 * ckpt_s by construction).
+                format!("{interval}"),
                 fails.join("+"),
                 o.label.to_string(),
                 o.detail,

@@ -1,0 +1,62 @@
+//! Trace demo driver: run leanmd with full tracing, export the Chrome-trace
+//! JSON + CSV event logs to `results/`, print the projections-lite report,
+//! and self-check the core accounting invariant (traced per-entry busy time
+//! must equal the scheduler's per-PE busy time).
+//!
+//! Open `results/trace_leanmd.json` at <https://ui.perfetto.dev> — one track
+//! per PE plus an RTS track with LB/FT/DVFS instants.
+
+use charm_apps::leanmd::{run_with_runtime, LeanMdConfig};
+use charm_bench::results_path;
+use charm_core::{SimTime, TraceConfig};
+use charm_lb::GreedyLb;
+
+fn main() {
+    let (run, rt) = run_with_runtime(LeanMdConfig {
+        cells_per_dim: 3,
+        atoms_per_cell: 40,
+        steps: 6,
+        lb_every: 3,
+        strategy: Some(Box::new(GreedyLb)),
+        ckpt_at: Some(4),
+        trace: Some(TraceConfig::default()),
+        ..LeanMdConfig::default()
+    });
+    assert!(run.unrecoverable.is_none(), "demo run must complete");
+
+    // Projections "summary mode": always-on aggregates, printed as a report.
+    let report = rt.projections_report(8).expect("tracing was enabled");
+    print!("{report}");
+
+    // Projections "log mode": full event logs, exported for external tools.
+    let json = rt.trace_chrome_json().expect("tracing was enabled");
+    let csv = rt.trace_csv().expect("tracing was enabled");
+    for (name, data) in [("trace_leanmd.json", &json), ("trace_leanmd.csv", &csv)] {
+        match results_path(name).and_then(|p| std::fs::write(&p, data).map(|()| p)) {
+            Ok(p) => println!("  -> {}", p.display()),
+            Err(e) => {
+                eprintln!("failed to write {name}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Acceptance self-check: the profile totals must agree with the
+    // scheduler's busy-time accounting to within float rounding.
+    let busy: SimTime = (0..rt.num_pes()).map(|pe| rt.pe_busy_time(pe)).sum();
+    let traced = rt.tracer().expect("tracing was enabled").total_entry_time();
+    if traced != busy {
+        eprintln!("BUSY-TIME MISMATCH: traced {traced} vs scheduler {busy}");
+        std::process::exit(1);
+    }
+    let profile_s: f64 = rt.trace_profiles().iter().map(|p| p.total_s).sum();
+    let rel = (profile_s - busy.as_secs_f64()).abs() / busy.as_secs_f64().max(f64::MIN_POSITIVE);
+    if rel > 1e-9 {
+        eprintln!("PROFILE MISMATCH: {profile_s} vs {} (rel {rel:e})", busy.as_secs_f64());
+        std::process::exit(1);
+    }
+    println!(
+        "  self-check ok: traced busy time {traced} == scheduler busy time ({} entries)",
+        run.entries
+    );
+}

@@ -113,9 +113,7 @@ impl Figure {
     /// Write `results/<id>.csv` (relative to the workspace root when run
     /// via cargo, else the current directory).
     pub fn save_csv(&self) -> std::io::Result<PathBuf> {
-        let dir = results_dir();
-        std::fs::create_dir_all(&dir)?;
-        let path = dir.join(format!("{}.csv", self.id));
+        let path = results_path(&format!("{}.csv", self.id))?;
         let mut csv = String::new();
         let _ = writeln!(csv, "{}", self.columns.join(","));
         for r in &self.rows {
@@ -144,6 +142,15 @@ fn results_dir() -> PathBuf {
         Ok(m) => PathBuf::from(m).join("../../results"),
         Err(_) => PathBuf::from("results"),
     }
+}
+
+/// Path for an artifact in the shared `results/` directory, creating the
+/// directory if needed. Used by drivers that write non-Figure outputs
+/// (trace JSON/CSV, campaign logs).
+pub fn results_path(name: &str) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir.join(name))
 }
 
 /// Format seconds with an adaptive unit.

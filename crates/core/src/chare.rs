@@ -65,6 +65,22 @@ pub enum SysEvent {
     Inserted,
 }
 
+impl SysEvent {
+    /// Stable variant name — the entry-method label tracing uses to
+    /// distinguish `on_event` invocations in profiles and timelines.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            SysEvent::Reduction { .. } => "Reduction",
+            SysEvent::ResumeFromSync => "ResumeFromSync",
+            SysEvent::Migrated { .. } => "Migrated",
+            SysEvent::QuiescenceDetected => "QuiescenceDetected",
+            SysEvent::CheckpointDone => "CheckpointDone",
+            SysEvent::Restarted { .. } => "Restarted",
+            SysEvent::Inserted => "Inserted",
+        }
+    }
+}
+
 /// Value carried through a reduction.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RedValue {

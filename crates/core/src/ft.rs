@@ -24,6 +24,7 @@
 use crate::array::ObjId;
 use crate::chare::{Callback, SysEvent};
 use crate::runtime::{Ev, Runtime, Unrecoverable, ENVELOPE_BYTES};
+use crate::trace::TraceEventKind;
 use charm_machine::SimTime;
 use std::collections::{HashMap, HashSet};
 
@@ -132,6 +133,15 @@ impl Runtime {
         let total = transfer + barrier;
         let done = at + total;
 
+        if let Some(tr) = &mut self.tracer {
+            tr.rts(
+                at,
+                TraceEventKind::CkptBegin {
+                    chares: bytes.len(),
+                    bytes: per_pe.iter().sum(),
+                },
+            );
+        }
         self.ckpt_pending = Some(PendingCkpt {
             ckpt: MemCheckpoint {
                 bytes,
@@ -169,6 +179,9 @@ impl Runtime {
         // from any earlier restart are superseded.
         self.copy_missing.clear();
         self.mem_ckpt = Some(p.ckpt);
+        if let Some(tr) = &mut self.tracer {
+            tr.rts(self.now, TraceEventKind::CkptCommit);
+        }
         self.metrics
             .entry("ckpt_committed".into())
             .or_default()
@@ -226,10 +239,22 @@ impl Runtime {
         if failed.is_empty() {
             return;
         }
+        if let Some(tr) = &mut self.tracer {
+            tr.rts(
+                self.now,
+                TraceEventKind::NodeFail {
+                    first_pe: failed[0],
+                    num_pes: failed.len(),
+                },
+            );
+        }
 
         // A checkpoint still replicating to buddies can no longer commit:
         // abort it and fall back to the previous committed checkpoint.
         if let Some(pending) = self.ckpt_pending.take() {
+            if let Some(tr) = &mut self.tracer {
+                tr.rts(self.now, TraceEventKind::CkptAbort);
+            }
             self.metrics
                 .entry("ckpt_aborted".into())
                 .or_default()
@@ -282,6 +307,15 @@ impl Runtime {
         }
 
         // ---- rollback: discard all execution/message state -----------------
+        if let Some(tr) = &mut self.tracer {
+            tr.rts(
+                self.now,
+                TraceEventKind::Rollback {
+                    to: ckpt.taken_at,
+                    chares: ckpt.num_chares(),
+                },
+            );
+        }
         self.purge_volatile_events();
         for p in self.pes[..self.live_pes].iter_mut() {
             p.pending.clear();
@@ -289,6 +323,11 @@ impl Runtime {
             p.current = None;
             p.blocked_until = SimTime::ZERO;
             p.alive = true; // crashed processes are replaced by fresh ones
+        }
+        if let Some(tr) = &mut self.tracer {
+            for pe in 0..self.live_pes {
+                tr.pe_transition(now, pe, false);
+            }
         }
         self.queued = 0;
         self.inflight = 0;
@@ -396,6 +435,9 @@ impl Runtime {
                 p.current = None;
                 self.busy_pes -= 1;
             }
+            if let Some(tr) = &mut self.tracer {
+                tr.pe_transition(self.now, pe, false);
+            }
             self.metrics
                 .entry("unrecovered_failures".into())
                 .or_default()
@@ -405,6 +447,9 @@ impl Runtime {
 
     /// Record the (sticky) fatal outcome — the first fatal failure wins.
     fn mark_unrecoverable(&mut self, failed: &[usize], lost_chares: usize, reason: String) {
+        if let Some(tr) = &mut self.tracer {
+            tr.rts(self.now, TraceEventKind::Unrecoverable { lost: lost_chares });
+        }
         if self.unrecoverable.is_none() {
             self.unrecoverable = Some(Unrecoverable {
                 at: self.now,

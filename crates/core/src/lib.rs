@@ -19,8 +19,9 @@
 //! ([`lbframework`]), double in-memory and disk checkpoint/restart ([`ft`]),
 //! temperature-aware DVFS control ([`power`]), malleable shrink/expand
 //! (`malleable`, via [`Runtime::schedule_reconfigure`]), an introspective
-//! control-point tuner ([`ctrl`]), and host-program interoperation
-//! ([`interop`]).
+//! control-point tuner ([`ctrl`]), host-program interoperation
+//! ([`interop`]), and a Projections-lite tracing & metrics subsystem
+//! ([`trace`]) with Chrome-trace export and per-entry-method profiles.
 //!
 //! Execution happens on the deterministic machine simulator from
 //! `charm-machine`; see that crate and DESIGN.md for the
@@ -71,6 +72,7 @@ pub mod lbframework;
 mod malleable;
 pub mod power;
 mod runtime;
+pub mod trace;
 
 pub use array::{ArrayId, ArrayProxy, ObjId, Payload};
 pub use chare::{Callback, Chare, RedOp, RedValue, SysEvent};
@@ -81,6 +83,7 @@ pub use interop::CharmLib;
 pub use lbframework::{LbRound, LbStats, LbTrigger, NullLb, ObjStat, Strategy};
 pub use power::DvfsScheme;
 pub use runtime::{HomeMap, RunSummary, Runtime, RuntimeBuilder, Unrecoverable, ENVELOPE_BYTES};
+pub use trace::{EntryKind, TraceConfig, TraceEventKind, TraceProfile, TraceRecord, Tracer};
 
 // Re-exported so applications depending on charm-core alone can name the
 // machine substrate.

@@ -8,6 +8,7 @@
 //! redistributes chares across the larger set.
 
 use crate::runtime::Runtime;
+use crate::trace::TraceEventKind;
 use charm_machine::SimTime;
 
 impl Runtime {
@@ -89,6 +90,9 @@ impl Runtime {
 
     fn journal_reconfig(&mut self, from: usize, to: usize, done: SimTime) {
         let cost = done.saturating_sub(self.now).as_secs_f64();
+        if let Some(tr) = &mut self.tracer {
+            tr.rts(self.now, TraceEventKind::Reconfigure { from, to });
+        }
         self.metrics
             .entry("reconfigure".into())
             .or_default()
@@ -97,6 +101,5 @@ impl Runtime {
             .entry("reconfigure_cost_s".into())
             .or_default()
             .push((self.now.as_secs_f64(), cost));
-        let _ = from;
     }
 }

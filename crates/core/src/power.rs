@@ -13,6 +13,7 @@
 //!   makes rebalancing worth its cost.
 
 use crate::runtime::{Ev, Runtime};
+use crate::trace::TraceEventKind;
 use charm_machine::SimTime;
 
 /// The temperature-control scheme the RTS applies at each DVFS tick.
@@ -56,6 +57,15 @@ impl Runtime {
                 DvfsScheme::Naive | DvfsScheme::WithLb { .. } | DvfsScheme::MetaTemp { .. } => {
                     if thermal.dvfs_step(chip) {
                         any_freq_change = true;
+                        if let Some(tr) = &mut self.tracer {
+                            tr.rts(
+                                self.now,
+                                TraceEventKind::DvfsFreq {
+                                    chip,
+                                    freq_factor: thermal.freq_factor(chip),
+                                },
+                            );
+                        }
                     }
                 }
             }

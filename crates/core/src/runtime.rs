@@ -10,6 +10,7 @@ use crate::ctx::{Action, Ctx};
 use crate::ft::{MemCheckpoint, PendingCkpt};
 use crate::lbframework::{LbRound, LbStats, LbTrigger, ObjStat, Strategy};
 use crate::power::DvfsScheme;
+use crate::trace::{EntryKind, TraceConfig, TraceEventKind, Tracer};
 use charm_machine::thermal::ThermalModel;
 use charm_machine::{EventQueue, MachineConfig, NetworkModel, SimTime};
 use rand::rngs::StdRng;
@@ -121,7 +122,7 @@ pub(crate) struct PeState {
     pub(crate) blocked_until: SimTime,
     pub(crate) busy_time: SimTime,
     pub(crate) msgs_executed: u64,
-    pub(crate) current: Option<(ObjId, SimTime)>,
+    pub(crate) current: Option<(ObjId, SimTime, EntryKind)>,
 }
 
 impl PeState {
@@ -136,6 +137,15 @@ impl PeState {
             current: None,
         }
     }
+}
+
+/// Whether [`Runtime::collect_lb_stats`] resets the measurement windows
+/// (`Drain`, at the head of an LB round) or leaves them intact (`Peek`,
+/// for trigger logic that only inspects the imbalance).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StatsMode {
+    Peek,
+    Drain,
 }
 
 pub(crate) struct RedState {
@@ -210,6 +220,7 @@ pub struct RuntimeBuilder {
     collective_arity: u64,
     track_comm: bool,
     auto_ckpt: Option<SimTime>,
+    trace: Option<TraceConfig>,
 }
 
 impl RuntimeBuilder {
@@ -279,6 +290,15 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Enable the Projections-lite tracing subsystem (see
+    /// [`crate::trace`]): bounded per-PE event logs plus always-cheap
+    /// summary aggregates. Off by default — when off, no events are
+    /// recorded and the per-message hooks reduce to a branch on `None`.
+    pub fn tracing(mut self, cfg: TraceConfig) -> Self {
+        self.trace = Some(cfg);
+        self
+    }
+
     /// Take a double in-memory checkpoint automatically every `interval`
     /// of virtual time (§III-B). Ticks re-arm only while application work
     /// is outstanding, so the run still terminates when the job drains.
@@ -312,6 +332,7 @@ impl RuntimeBuilder {
         let rngs = (0..n)
             .map(|pe| StdRng::seed_from_u64(self.seed ^ (pe as u64).wrapping_mul(0x9E3779B97F4A7C15)))
             .collect();
+        let tracer = self.trace.map(|cfg| Tracer::new(cfg, n));
         Runtime {
             machine: self.machine,
             net,
@@ -359,6 +380,7 @@ impl RuntimeBuilder {
             collective_arity: self.collective_arity,
             track_comm: self.track_comm,
             comm: HashMap::new(),
+            tracer,
             reconfig_overhead_shrink: SimTime::from_secs_f64(2.0),
             reconfig_overhead_expand: SimTime::from_secs_f64(6.5),
         }
@@ -434,6 +456,8 @@ pub struct Runtime {
     track_comm: bool,
     /// Aggregated obj→obj bytes since the last LB round (when tracked).
     comm: HashMap<(ObjId, ObjId), u64>,
+    /// Projections-lite tracing, when enabled ([`RuntimeBuilder::tracing`]).
+    pub(crate) tracer: Option<Tracer>,
     /// Modeled process tear-down/reconnect cost on shrink (paper: 2.7 s).
     pub reconfig_overhead_shrink: SimTime,
     /// Modeled process start-up/reconnect cost on expand (paper: 7.2 s).
@@ -456,6 +480,7 @@ impl Runtime {
             collective_arity: 2,
             track_comm: false,
             auto_ckpt: None,
+            trace: None,
         }
     }
 
@@ -735,7 +760,7 @@ impl Runtime {
                     // The PE died mid-entry; the completion never happens.
                     return;
                 }
-                let (dst, dur) = self.pes[pe]
+                let (dst, dur, entry) = self.pes[pe]
                     .current
                     .take()
                     .expect("PeFree without a running entry");
@@ -746,8 +771,17 @@ impl Runtime {
                 if chip < self.chip_busy.len() {
                     self.chip_busy[chip] += dur;
                 }
-                let _ = dst;
+                // Entry spans are traced here, at completion — the same
+                // place `busy_time` accrues — so traced per-entry totals
+                // agree exactly with `pe_busy_time` even when failures or
+                // rollbacks cancel in-flight completions.
+                if let Some(tr) = &mut self.tracer {
+                    tr.on_entry(pe, dst, entry, self.now.saturating_sub(dur), dur);
+                }
                 self.try_start(pe);
+                if let Some(tr) = &mut self.tracer {
+                    tr.pe_transition(self.now, pe, self.pes[pe].busy);
+                }
             }
             Ev::PeRetry { pe } => {
                 self.try_start(pe);
@@ -778,6 +812,9 @@ impl Runtime {
         let seq = self.messages;
         self.messages += 1;
         self.queued += 1;
+        if let Some(tr) = &mut self.tracer {
+            tr.on_recv(self.now, pe, env.src_pe, env.dst, env.bytes);
+        }
         self.pes[pe].pending.push(Pending {
             prio: env.prio,
             seq,
@@ -840,6 +877,10 @@ impl Runtime {
             Some(_) => {}
         }
 
+        let entry_kind = match &env.payload {
+            Payload::User(_) => EntryKind::Message,
+            Payload::Sys(ev) => EntryKind::Event(ev.kind_name()),
+        };
         let mut ctx = Ctx {
             now: self.now,
             pe,
@@ -894,7 +935,10 @@ impl Runtime {
         self.pes[pe].busy = true;
         self.busy_pes += 1;
         self.pes[pe].msgs_executed += 1;
-        self.pes[pe].current = Some((env.dst, duration));
+        self.pes[pe].current = Some((env.dst, duration, entry_kind));
+        if let Some(tr) = &mut self.tracer {
+            tr.pe_transition(self.now, pe, true);
+        }
         self.events.push(end, Ev::PeFree { pe });
 
         self.apply_actions(env.dst, pe, end, actions);
@@ -1050,6 +1094,9 @@ impl Runtime {
         let delay = self.net.delay(src, target_pe, env.bytes);
         self.bytes_moved += env.bytes as u64;
         self.inflight += 1;
+        if let Some(tr) = &mut self.tracer {
+            tr.on_send(at, src, target_pe, dst, env.bytes);
+        }
         self.events.push(
             at + extra + delay,
             Ev::Deliver {
@@ -1103,6 +1150,9 @@ impl Runtime {
             };
             self.bytes_moved += bytes as u64;
             self.inflight += 1;
+            if let Some(tr) = &mut self.tracer {
+                tr.on_send(at, src_pe, pe, dst, bytes);
+            }
             self.events.push(at + tree_delay, Ev::Deliver { pe, env });
         }
     }
@@ -1208,6 +1258,9 @@ impl Runtime {
         let delay = self.net.delay(from_pe, to, bytes.len() + ENVELOPE_BYTES);
         self.bytes_moved += (bytes.len() + ENVELOPE_BYTES) as u64;
         self.inflight += 1;
+        if let Some(tr) = &mut self.tracer {
+            tr.rts(at, TraceEventKind::Migration { obj: src, from_pe, to_pe: to });
+        }
         self.events.push(
             at + delay,
             Ev::MigrateArrive {
@@ -1277,6 +1330,38 @@ impl Runtime {
 
     /// Non-destructive stats snapshot (loads not reset) for trigger logic.
     pub(crate) fn collect_stats_peek(&mut self) -> LbStats {
+        self.collect_lb_stats(StatsMode::Peek)
+    }
+
+    /// The single stats-collection path: both the LB-trigger peek and the
+    /// destructive collection at the head of an LB round go through here, so
+    /// instrumentation and load-accounting rules can't drift apart.
+    ///
+    /// `Peek` leaves the load windows intact and skips the communication
+    /// journal; `Drain` resets both (the round consumes the window).
+    pub(crate) fn collect_lb_stats(&mut self, mode: StatsMode) -> LbStats {
+        // Drain the communication journal (if tracked) in a deterministic
+        // order and aggregate per-sender totals.
+        let (comm, sent_by) = match mode {
+            StatsMode::Peek => (Vec::new(), HashMap::new()),
+            StatsMode::Drain => {
+                let mut comm: Vec<(ObjId, ObjId, u64)> = self
+                    .comm
+                    .drain()
+                    .map(|((a, b), v)| (a, b, v))
+                    .collect();
+                comm.sort_unstable_by(|x, y| {
+                    (x.0.array, x.0.ix, x.1.array, x.1.ix)
+                        .cmp(&(y.0.array, y.0.ix, y.1.array, y.1.ix))
+                });
+                let mut sent_by: HashMap<ObjId, u64> = HashMap::new();
+                for (a, _, v) in &comm {
+                    *sent_by.entry(*a).or_default() += v;
+                }
+                (comm, sent_by)
+            }
+        };
+
         let mut objs = Vec::new();
         for s in self.stores.iter_mut() {
             if !s.uses_at_sync() {
@@ -1285,20 +1370,20 @@ impl Runtime {
             let id = s.id();
             let drained = s.drain_loads();
             for (ix, pe, load, hint) in &drained {
+                let obj = ObjId { array: id, ix: *ix };
                 objs.push(ObjStat {
-                    id: ObjId {
-                        array: id,
-                        ix: *ix,
-                    },
+                    id: obj,
                     pe: *pe,
                     load: if *load > 0.0 { *load } else { *hint * 1e-6 },
-                    bytes_sent: 0,
+                    bytes_sent: sent_by.get(&obj).copied().unwrap_or(0),
                     msgs_sent: 0,
                 });
             }
-            // Put the loads back (peek semantics).
-            for (ix, _pe, load, _h) in drained {
-                s.add_load(&ix, load);
+            if matches!(mode, StatsMode::Peek) {
+                // Put the loads back (peek semantics).
+                for (ix, _pe, load, _h) in drained {
+                    s.add_load(&ix, load);
+                }
             }
         }
         LbStats {
@@ -1306,7 +1391,7 @@ impl Runtime {
             pe_speed: (0..self.live_pes).map(|p| self.effective_speed(p)).collect(),
             bg_load: vec![0.0; self.live_pes],
             objs,
-            comm: Vec::new(),
+            comm,
         }
     }
 
@@ -1315,44 +1400,7 @@ impl Runtime {
     /// whole round. Used by AtSync, RTS-triggered (thermal/cloud) LB, and
     /// reconfiguration.
     pub(crate) fn run_lb_round(&mut self, at: SimTime, resume: bool) {
-        // Drain the communication journal (if tracked) in a deterministic
-        // order and aggregate per-sender totals.
-        let mut comm: Vec<(ObjId, ObjId, u64)> = self
-            .comm
-            .drain()
-            .map(|((a, b), v)| (a, b, v))
-            .collect();
-        comm.sort_unstable_by(|x, y| {
-            (x.0.array, x.0.ix, x.1.array, x.1.ix).cmp(&(y.0.array, y.0.ix, y.1.array, y.1.ix))
-        });
-        let mut sent_by: HashMap<ObjId, u64> = HashMap::new();
-        for (a, _, v) in &comm {
-            *sent_by.entry(*a).or_default() += v;
-        }
-
-        let mut stats = LbStats {
-            num_pes: self.live_pes,
-            pe_speed: (0..self.live_pes).map(|p| self.effective_speed(p)).collect(),
-            bg_load: vec![0.0; self.live_pes],
-            objs: Vec::new(),
-            comm,
-        };
-        for s in self.stores.iter_mut() {
-            if !s.uses_at_sync() {
-                continue;
-            }
-            let id = s.id();
-            for (ix, pe, load, hint) in s.drain_loads() {
-                let obj = ObjId { array: id, ix };
-                stats.objs.push(ObjStat {
-                    id: obj,
-                    pe,
-                    load: if load > 0.0 { load } else { hint * 1e-6 },
-                    bytes_sent: sent_by.get(&obj).copied().unwrap_or(0),
-                    msgs_sent: 0,
-                });
-            }
-        }
+        let stats = self.collect_lb_stats(StatsMode::Drain);
         let imbalance_before = stats.imbalance();
 
         let Some(lb) = self.lb.as_mut() else {
@@ -1366,6 +1414,15 @@ impl Runtime {
         let strategy_name = lb.name();
         let distributed = lb.is_distributed();
         let decision_work = lb.decision_cost(stats.objs.len(), self.live_pes);
+        if let Some(tr) = &mut self.tracer {
+            tr.rts(
+                at,
+                TraceEventKind::LbBegin {
+                    strategy: strategy_name,
+                    objs: stats.objs.len(),
+                },
+            );
+        }
 
         // --- modeled cost of the LB round -----------------------------------
         let depth = self.tree_depth();
@@ -1405,6 +1462,16 @@ impl Runtime {
                 store.remove_element(&obj.id.ix);
                 store.unpack_insert(obj.id.ix, target, &bytes);
                 self.bytes_moved += bytes.len() as u64;
+                if let Some(tr) = &mut self.tracer {
+                    tr.rts(
+                        at,
+                        TraceEventKind::Migration {
+                            obj: obj.id,
+                            from_pe: obj.pe,
+                            to_pe: target,
+                        },
+                    );
+                }
             }
         }
         let max_out = per_pe_out.iter().copied().max().unwrap_or(0);
@@ -1430,6 +1497,16 @@ impl Runtime {
             &stats.pe_speed,
             self.live_pes,
         );
+        if let Some(tr) = &mut self.tracer {
+            tr.rts(
+                resume_at,
+                TraceEventKind::LbEnd {
+                    strategy: strategy_name,
+                    migrations,
+                    cost: total,
+                },
+            );
+        }
         self.lb_rounds.push(LbRound {
             at: resume_at.as_secs_f64(),
             strategy: strategy_name,

@@ -1,0 +1,968 @@
+//! `charm-trace` — Projections-lite runtime tracing & metrics (the paper's
+//! observability surface: every adaptive-RTS feature in §II/§III rests on
+//! the runtime *observing itself*; in real Charm++ that surface is the
+//! Projections framework).
+//!
+//! Two consumption modes mirror Projections' log vs. summary split:
+//!
+//! * **Full log** — every runtime event (entry execution, message send/recv,
+//!   PE idle/busy transitions, LB rounds with migration lists, checkpoint /
+//!   rollback / failure, DVFS frequency changes, shrink/expand) is recorded
+//!   into a *bounded* per-PE ring buffer. Overflow drops the oldest records
+//!   and counts them ([`Tracer::dropped_events`]) — memory stays bounded no
+//!   matter how long the run. The log exports to Chrome trace-event JSON
+//!   ([`Runtime::trace_chrome_json`], loadable in Perfetto or
+//!   `chrome://tracing`, one track per PE plus an RTS track) and to CSV.
+//! * **Summary** — always-cheap streaming aggregates that never depend on
+//!   ring capacity: per-entry-method time profiles (count/total/min/max plus
+//!   a log₂ duration histogram), a binned per-PE utilization timeline that
+//!   coarsens itself to stay within a bin budget, and a PE×PE
+//!   communication-volume matrix. [`Runtime::projections_report`] renders
+//!   them as a text report (top-k entry methods, utilization profile, comm
+//!   hotspots, LB/FT event ledger) — the input the control-point tuner and
+//!   future schedulers consume.
+//!
+//! Tracing is off unless [`RuntimeBuilder::tracing`](crate::RuntimeBuilder::tracing)
+//! installs a [`TraceConfig`]; when off, every hook is a skipped `if let`
+//! — zero events, zero per-message allocation.
+//!
+//! Determinism: records are produced in simulator dispatch order and carry
+//! only virtual times, so two runs with the same seed and machine profile
+//! emit byte-identical exports (tested in `tests/trace.rs`).
+
+use crate::array::{ArrayId, ObjId};
+use crate::runtime::Runtime;
+use charm_machine::SimTime;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Configures the tracing subsystem (see module docs).
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Ring capacity per track (one track per PE plus one RTS track).
+    /// `0` keeps only the summary aggregates; every log record then counts
+    /// as dropped.
+    pub log_capacity: usize,
+    /// Initial utilization-timeline bin width.
+    pub util_bin: SimTime,
+    /// Bin budget for the utilization timeline; when the run outgrows it
+    /// the bin width doubles and adjacent bins fold together.
+    pub max_util_bins: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            log_capacity: 1 << 16,
+            util_bin: SimTime::from_millis(1),
+            max_util_bins: 1024,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Summary-only preset: no event log, just the cheap aggregates.
+    pub fn summary_only() -> Self {
+        TraceConfig {
+            log_capacity: 0,
+            ..TraceConfig::default()
+        }
+    }
+}
+
+/// Which entry method of a chare array ran: its user message handler or a
+/// runtime [`SysEvent`](crate::SysEvent) handler (named by variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EntryKind {
+    /// `Chare::on_message` (the array's user entry method).
+    Message,
+    /// `Chare::on_event` with the named system event.
+    Event(&'static str),
+}
+
+impl EntryKind {
+    /// Short label used in exports ("entry" or the event name).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EntryKind::Message => "entry",
+            EntryKind::Event(name) => name,
+        }
+    }
+}
+
+/// One traced runtime event. `Entry` spans carry a duration; everything
+/// else is an instant.
+#[derive(Debug, Clone)]
+pub enum TraceEventKind {
+    /// An entry method completed on this track's PE (start time = record
+    /// time; completion was at `t + dur`). Recorded at completion so traced
+    /// busy time agrees exactly with [`Runtime::pe_busy_time`].
+    Entry {
+        /// The chare that ran.
+        obj: ObjId,
+        /// Which of its entry methods.
+        entry: EntryKind,
+        /// Modeled execution duration.
+        dur: SimTime,
+    },
+    /// A message left this track's PE toward `dst_pe`.
+    MsgSend {
+        /// Destination chare.
+        dst: ObjId,
+        /// PE the message was routed to.
+        dst_pe: usize,
+        /// Wire size, envelope included.
+        bytes: usize,
+    },
+    /// A message was enqueued on this track's PE scheduler queue.
+    MsgRecv {
+        /// Sending PE.
+        src_pe: usize,
+        /// Destination chare.
+        dst: ObjId,
+        /// Wire size, envelope included.
+        bytes: usize,
+    },
+    /// The PE went from idle to executing.
+    PeBusy,
+    /// The PE drained its queue and went idle.
+    PeIdle,
+    /// A load-balancing round started (RTS track).
+    LbBegin {
+        /// Strategy about to run.
+        strategy: &'static str,
+        /// Objects whose stats were collected.
+        objs: usize,
+    },
+    /// One object migrated during an LB round or by `migrate_me` (RTS
+    /// track; the records between `LbBegin` and `LbEnd` are the round's
+    /// migration list).
+    Migration {
+        /// The object that moved.
+        obj: ObjId,
+        /// Source PE.
+        from_pe: usize,
+        /// Destination PE.
+        to_pe: usize,
+    },
+    /// A load-balancing round finished (RTS track).
+    LbEnd {
+        /// Strategy that ran.
+        strategy: &'static str,
+        /// Objects that moved.
+        migrations: usize,
+        /// Modeled cost of the whole round.
+        cost: SimTime,
+    },
+    /// A double in-memory checkpoint started replicating (RTS track).
+    CkptBegin {
+        /// Chares captured.
+        chares: usize,
+        /// Total snapshot bytes.
+        bytes: usize,
+    },
+    /// The in-flight checkpoint committed and became the recovery point.
+    CkptCommit,
+    /// A failure aborted the in-flight checkpoint before it committed.
+    CkptAbort,
+    /// A node failure killed a contiguous PE range (RTS track).
+    NodeFail {
+        /// First PE of the failed node.
+        first_pe: usize,
+        /// PEs killed.
+        num_pes: usize,
+    },
+    /// The application rolled back to the last committed checkpoint.
+    Rollback {
+        /// Virtual time the restored checkpoint was taken.
+        to: SimTime,
+        /// Chares restored.
+        chares: usize,
+    },
+    /// A failure destroyed state beyond recovery.
+    Unrecoverable {
+        /// Chares lost outright.
+        lost: usize,
+    },
+    /// DVFS changed a chip's frequency (RTS track).
+    DvfsFreq {
+        /// The chip.
+        chip: usize,
+        /// New frequency as a fraction of nominal.
+        freq_factor: f64,
+    },
+    /// Malleable shrink/expand retargeted the live-PE count (RTS track).
+    Reconfigure {
+        /// PE count before.
+        from: usize,
+        /// PE count after.
+        to: usize,
+    },
+}
+
+/// A timestamped record on one track (`track < num_pes` = that PE;
+/// `track == num_pes` = the RTS track).
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// Virtual time of the event (for `Entry`, the span's start).
+    pub t: SimTime,
+    /// Owning track.
+    pub track: usize,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// Bounded ring: keeps the newest `cap` records, counts what it sheds.
+struct Ring {
+    cap: usize,
+    buf: Vec<TraceRecord>,
+    /// Index of the oldest record once the ring has wrapped.
+    next: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn new(cap: usize) -> Self {
+        Ring {
+            cap,
+            buf: Vec::new(),
+            next: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, r: TraceRecord) {
+        if self.cap == 0 {
+            self.dropped += 1;
+        } else if self.buf.len() < self.cap {
+            self.buf.push(r);
+        } else {
+            self.buf[self.next] = r;
+            self.next = (self.next + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.buf[self.next..].iter().chain(self.buf[..self.next].iter())
+    }
+}
+
+/// Streaming per-entry-method aggregate.
+#[derive(Debug, Clone)]
+struct EntryAgg {
+    count: u64,
+    total: SimTime,
+    min: SimTime,
+    max: SimTime,
+    /// Counts by ⌈log₂(duration in ns)⌉ bucket.
+    hist: [u64; 64],
+}
+
+impl EntryAgg {
+    fn new() -> Self {
+        EntryAgg {
+            count: 0,
+            total: SimTime::ZERO,
+            min: SimTime::MAX,
+            max: SimTime::ZERO,
+            hist: [0; 64],
+        }
+    }
+
+    fn add(&mut self, dur: SimTime) {
+        self.count += 1;
+        self.total += dur;
+        self.min = self.min.min(dur);
+        self.max = self.max.max(dur);
+        let bucket = (64 - dur.as_nanos().max(1).leading_zeros() as usize).min(63);
+        self.hist[bucket] += 1;
+    }
+}
+
+/// Resolved per-entry-method profile, ready for reports and tuners.
+#[derive(Debug, Clone)]
+pub struct TraceProfile {
+    /// `<array>::<entry>` (e.g. `leanmd_cells::entry`,
+    /// `leanmd_cells::ResumeFromSync`).
+    pub name: String,
+    /// Array the entry method belongs to.
+    pub array: ArrayId,
+    /// Which entry method.
+    pub entry: EntryKind,
+    /// Executions.
+    pub count: u64,
+    /// Total busy seconds across executions.
+    pub total_s: f64,
+    /// Shortest execution, seconds.
+    pub min_s: f64,
+    /// Longest execution, seconds.
+    pub max_s: f64,
+    /// Non-empty log₂ histogram buckets: (upper bound in ns, count).
+    pub hist: Vec<(u64, u64)>,
+}
+
+impl TraceProfile {
+    /// Mean execution time, seconds.
+    pub fn avg_s(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_s / self.count as f64
+        }
+    }
+}
+
+/// Self-coarsening binned busy-time timeline (bounded memory).
+struct UtilTimeline {
+    bin_ns: u64,
+    max_bins: usize,
+    /// Busy nanoseconds per bin, per PE.
+    per_pe: Vec<Vec<u64>>,
+}
+
+impl UtilTimeline {
+    fn new(bin: SimTime, max_bins: usize, num_pes: usize) -> Self {
+        UtilTimeline {
+            bin_ns: bin.as_nanos().max(1),
+            max_bins: max_bins.max(2),
+            per_pe: vec![Vec::new(); num_pes],
+        }
+    }
+
+    fn add(&mut self, pe: usize, start: SimTime, end: SimTime) {
+        if pe >= self.per_pe.len() || end <= start {
+            return;
+        }
+        let (start, end) = (start.as_nanos(), end.as_nanos());
+        while (end / self.bin_ns) as usize >= self.max_bins {
+            self.fold();
+        }
+        let mut s = start;
+        while s < end {
+            let b = (s / self.bin_ns) as usize;
+            let e = end.min((b as u64 + 1) * self.bin_ns);
+            let v = &mut self.per_pe[pe];
+            if v.len() <= b {
+                v.resize(b + 1, 0);
+            }
+            v[b] += e - s;
+            s = e;
+        }
+    }
+
+    /// Double the bin width, folding adjacent bins together.
+    fn fold(&mut self) {
+        self.bin_ns *= 2;
+        for v in &mut self.per_pe {
+            let half = v.len().div_ceil(2);
+            for i in 0..half {
+                let a = v[2 * i];
+                let b = v.get(2 * i + 1).copied().unwrap_or(0);
+                v[i] = a + b;
+            }
+            v.truncate(half);
+        }
+    }
+}
+
+/// Cap on LB/FT ledger lines kept for the report (rounds and failures are
+/// few; DVFS changes can tick every period).
+const LEDGER_CAP: usize = 4096;
+
+/// The tracing subsystem: bounded per-PE event logs plus streaming summary
+/// aggregates. Owned by the [`Runtime`]; construct via
+/// [`RuntimeBuilder::tracing`](crate::RuntimeBuilder::tracing).
+pub struct Tracer {
+    cfg: TraceConfig,
+    num_pes: usize,
+    rings: Vec<Ring>,
+    profiles: HashMap<(ArrayId, EntryKind), EntryAgg>,
+    util: UtilTimeline,
+    /// Flattened PE×PE byte volumes (`src * num_pes + dst`).
+    comm_bytes: Vec<u64>,
+    comm_msgs: Vec<u64>,
+    busy_state: Vec<bool>,
+    /// Human-readable LB/FT/DVFS/malleability ledger.
+    ledger: Vec<(SimTime, String)>,
+    ledger_dropped: u64,
+}
+
+impl Tracer {
+    pub(crate) fn new(cfg: TraceConfig, num_pes: usize) -> Self {
+        let rings = (0..=num_pes).map(|_| Ring::new(cfg.log_capacity)).collect();
+        Tracer {
+            util: UtilTimeline::new(cfg.util_bin, cfg.max_util_bins, num_pes),
+            cfg,
+            num_pes,
+            rings,
+            profiles: HashMap::new(),
+            comm_bytes: vec![0; num_pes * num_pes],
+            comm_msgs: vec![0; num_pes * num_pes],
+            busy_state: vec![false; num_pes],
+            ledger: Vec::new(),
+            ledger_dropped: 0,
+        }
+    }
+
+    /// The configuration this tracer was built with.
+    pub fn config(&self) -> &TraceConfig {
+        &self.cfg
+    }
+
+    /// Number of tracks (PEs + the RTS track).
+    pub fn num_tracks(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// The RTS track index (`num_pes`).
+    pub fn rts_track(&self) -> usize {
+        self.num_pes
+    }
+
+    /// Records currently retained on a track, oldest first.
+    pub fn track(&self, track: usize) -> impl Iterator<Item = &TraceRecord> {
+        self.rings[track].iter()
+    }
+
+    /// Records retained on a track.
+    pub fn track_len(&self, track: usize) -> usize {
+        self.rings[track].buf.len()
+    }
+
+    /// Log records shed across all tracks (ring overflow, or everything
+    /// when `log_capacity == 0`). Summary aggregates never drop.
+    pub fn dropped_events(&self) -> u64 {
+        self.rings.iter().map(|r| r.dropped).sum()
+    }
+
+    /// PE×PE communication volume: `(bytes, messages)` routed `src → dst`.
+    pub fn comm(&self, src: usize, dst: usize) -> (u64, u64) {
+        let i = src * self.num_pes + dst;
+        (self.comm_bytes[i], self.comm_msgs[i])
+    }
+
+    /// Utilization timeline: bin width in seconds and, per PE, the busy
+    /// fraction of each bin.
+    pub fn util_timeline(&self) -> (f64, Vec<Vec<f64>>) {
+        let bin_s = self.util.bin_ns as f64 / 1e9;
+        let rows = self
+            .util
+            .per_pe
+            .iter()
+            .map(|v| v.iter().map(|&ns| ns as f64 / self.util.bin_ns as f64).collect())
+            .collect();
+        (bin_s, rows)
+    }
+
+    /// Total traced busy time summed over every entry-method profile —
+    /// equals `Σ pe_busy_time` when tracing covered the whole run.
+    pub fn total_entry_time(&self) -> SimTime {
+        self.profiles.values().map(|a| a.total).sum()
+    }
+
+    /// LB/FT/DVFS/malleability ledger lines (time, text), oldest first.
+    pub fn ledger(&self) -> &[(SimTime, String)] {
+        &self.ledger
+    }
+
+    // ----- recording hooks (crate-internal) --------------------------------
+
+    fn push(&mut self, track: usize, t: SimTime, kind: TraceEventKind) {
+        self.rings[track].push(TraceRecord { t, track, kind });
+    }
+
+    fn ledger_line(&mut self, t: SimTime, line: String) {
+        if self.ledger.len() < LEDGER_CAP {
+            self.ledger.push((t, line));
+        } else {
+            self.ledger_dropped += 1;
+        }
+    }
+
+    /// An entry method completed: `dur` ending at `start + dur` on `pe`.
+    pub(crate) fn on_entry(&mut self, pe: usize, obj: ObjId, entry: EntryKind, start: SimTime, dur: SimTime) {
+        self.profiles
+            .entry((obj.array, entry))
+            .or_insert_with(EntryAgg::new)
+            .add(dur);
+        self.util.add(pe, start, start + dur);
+        self.push(pe, start, TraceEventKind::Entry { obj, entry, dur });
+    }
+
+    pub(crate) fn on_send(&mut self, t: SimTime, src_pe: usize, dst_pe: usize, dst: ObjId, bytes: usize) {
+        if src_pe < self.num_pes && dst_pe < self.num_pes {
+            let i = src_pe * self.num_pes + dst_pe;
+            self.comm_bytes[i] += bytes as u64;
+            self.comm_msgs[i] += 1;
+        }
+        self.push(
+            src_pe.min(self.num_pes),
+            t,
+            TraceEventKind::MsgSend { dst, dst_pe, bytes },
+        );
+    }
+
+    pub(crate) fn on_recv(&mut self, t: SimTime, pe: usize, src_pe: usize, dst: ObjId, bytes: usize) {
+        self.push(pe, t, TraceEventKind::MsgRecv { src_pe, dst, bytes });
+    }
+
+    /// Record a busy/idle transition if the PE's state actually changed.
+    pub(crate) fn pe_transition(&mut self, t: SimTime, pe: usize, busy: bool) {
+        if pe >= self.busy_state.len() || self.busy_state[pe] == busy {
+            return;
+        }
+        self.busy_state[pe] = busy;
+        let kind = if busy { TraceEventKind::PeBusy } else { TraceEventKind::PeIdle };
+        self.push(pe, t, kind);
+    }
+
+    /// Record an RTS-level event (LB, FT, DVFS, malleability) and mirror it
+    /// into the ledger.
+    pub(crate) fn rts(&mut self, t: SimTime, kind: TraceEventKind) {
+        let line = match &kind {
+            TraceEventKind::LbBegin { strategy, objs } => {
+                Some(format!("LB {strategy} begin ({objs} objs)"))
+            }
+            TraceEventKind::LbEnd { strategy, migrations, cost } => Some(format!(
+                "LB {strategy} end: {migrations} migration(s), cost {cost}"
+            )),
+            TraceEventKind::CkptBegin { chares, bytes } => {
+                Some(format!("ckpt begin ({chares} chares, {bytes} B)"))
+            }
+            TraceEventKind::CkptCommit => Some("ckpt committed".to_string()),
+            TraceEventKind::CkptAbort => Some("ckpt aborted by failure".to_string()),
+            TraceEventKind::NodeFail { first_pe, num_pes } => {
+                Some(format!("node failure: {num_pes} PE(s) from PE {first_pe}"))
+            }
+            TraceEventKind::Rollback { to, chares } => Some(format!(
+                "rollback to checkpoint @{:.6}s ({chares} chares)",
+                to.as_secs_f64()
+            )),
+            TraceEventKind::Unrecoverable { lost } => {
+                Some(format!("UNRECOVERABLE: {lost} chare(s) lost"))
+            }
+            TraceEventKind::DvfsFreq { chip, freq_factor } => {
+                Some(format!("DVFS chip {chip} -> {freq_factor:.3}x"))
+            }
+            TraceEventKind::Reconfigure { from, to } => {
+                Some(format!("reconfigure {from} -> {to} PEs"))
+            }
+            _ => None,
+        };
+        if let Some(line) = line {
+            self.ledger_line(t, line);
+        }
+        let track = self.num_pes;
+        self.push(track, t, kind);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Export & report (on Runtime, which can resolve array names).
+
+/// Exact microseconds (`ns / 1000` with three fractional digits) — float
+/// formatting is bypassed so exports are byte-deterministic.
+fn us(t: SimTime) -> String {
+    let ns = t.as_nanos();
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl Runtime {
+    /// The tracer, when tracing was enabled at build time.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    fn entry_name(&self, array: ArrayId, entry: EntryKind) -> String {
+        let name = self
+            .stores
+            .get(array.0 as usize)
+            .map(|s| s.name())
+            .unwrap_or("?");
+        format!("{name}::{}", entry.label())
+    }
+
+    /// Per-entry-method profiles, sorted by total time (descending, then
+    /// name). Empty when tracing is off.
+    pub fn trace_profiles(&self) -> Vec<TraceProfile> {
+        let Some(tr) = &self.tracer else {
+            return Vec::new();
+        };
+        let mut keys: Vec<_> = tr.profiles.keys().copied().collect();
+        keys.sort_unstable();
+        let mut out: Vec<TraceProfile> = keys
+            .into_iter()
+            .map(|(array, entry)| {
+                let a = &tr.profiles[&(array, entry)];
+                TraceProfile {
+                    name: self.entry_name(array, entry),
+                    array,
+                    entry,
+                    count: a.count,
+                    total_s: a.total.as_secs_f64(),
+                    min_s: a.min.min(a.max).as_secs_f64(),
+                    max_s: a.max.as_secs_f64(),
+                    hist: a
+                        .hist
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &c)| c > 0)
+                        .map(|(i, &c)| (1u64 << i, c))
+                        .collect(),
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.total_s
+                .partial_cmp(&a.total_s)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        out
+    }
+
+    /// Export the retained event log as Chrome trace-event JSON (open in
+    /// Perfetto / `chrome://tracing`; one track per PE plus an RTS track).
+    /// `None` when tracing is off.
+    pub fn trace_chrome_json(&self) -> Option<String> {
+        let tr = self.tracer.as_ref()?;
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        for track in 0..tr.num_tracks() {
+            let name = if track == tr.rts_track() {
+                "RTS".to_string()
+            } else {
+                format!("PE {track}")
+            };
+            let _ = writeln!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{track},\"args\":{{\"name\":\"{name}\"}}}},"
+            );
+        }
+        let mut first = true;
+        for track in 0..tr.num_tracks() {
+            for rec in tr.track(track) {
+                if !first {
+                    out.push_str(",\n");
+                }
+                first = false;
+                self.write_chrome_event(&mut out, rec);
+            }
+        }
+        out.push_str("\n]}\n");
+        Some(out)
+    }
+
+    fn write_chrome_event(&self, out: &mut String, rec: &TraceRecord) {
+        let ts = us(rec.t);
+        let tid = rec.track;
+        match &rec.kind {
+            TraceEventKind::Entry { obj, entry, dur } => {
+                let name = json_escape(&self.entry_name(obj.array, *entry));
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{name}\",\"cat\":\"entry\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{},\"pid\":0,\"tid\":{tid},\"args\":{{\"ix\":\"{:?}\"}}}}",
+                    us(*dur),
+                    obj.ix
+                );
+            }
+            TraceEventKind::MsgSend { dst, dst_pe, bytes } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"send\",\"cat\":\"msg\",\"ph\":\"i\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"s\":\"t\",\"args\":{{\"to_pe\":{dst_pe},\"bytes\":{bytes},\"dst\":\"{:?}\"}}}}",
+                    dst.ix
+                );
+            }
+            TraceEventKind::MsgRecv { src_pe, dst, bytes } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"recv\",\"cat\":\"msg\",\"ph\":\"i\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"s\":\"t\",\"args\":{{\"from_pe\":{src_pe},\"bytes\":{bytes},\"dst\":\"{:?}\"}}}}",
+                    dst.ix
+                );
+            }
+            TraceEventKind::PeBusy | TraceEventKind::PeIdle => {
+                let v = if matches!(rec.kind, TraceEventKind::PeBusy) { 1 } else { 0 };
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"busy\",\"cat\":\"pe\",\"ph\":\"C\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"args\":{{\"busy\":{v}}}}}"
+                );
+            }
+            other => {
+                let (name, args) = rts_name_args(other);
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{name}\",\"cat\":\"rts\",\"ph\":\"i\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"s\":\"g\",\"args\":{{{args}}}}}"
+                );
+            }
+        }
+    }
+
+    /// Export the retained event log as CSV
+    /// (`t_ns,track,kind,name,dur_ns,bytes,a,b`). `None` when tracing is off.
+    pub fn trace_csv(&self) -> Option<String> {
+        let tr = self.tracer.as_ref()?;
+        let mut out = String::from("t_ns,track,kind,name,dur_ns,bytes,a,b\n");
+        for track in 0..tr.num_tracks() {
+            for rec in tr.track(track) {
+                let t = rec.t.as_nanos();
+                let row = match &rec.kind {
+                    TraceEventKind::Entry { obj, entry, dur } => format!(
+                        "{t},{track},entry,{},{},0,0,0",
+                        self.entry_name(obj.array, *entry),
+                        dur.as_nanos()
+                    ),
+                    TraceEventKind::MsgSend { dst_pe, bytes, .. } => {
+                        format!("{t},{track},send,,0,{bytes},{track},{dst_pe}")
+                    }
+                    TraceEventKind::MsgRecv { src_pe, bytes, .. } => {
+                        format!("{t},{track},recv,,0,{bytes},{src_pe},{track}")
+                    }
+                    TraceEventKind::PeBusy => format!("{t},{track},busy,,0,0,0,0"),
+                    TraceEventKind::PeIdle => format!("{t},{track},idle,,0,0,0,0"),
+                    other => {
+                        let (name, _) = rts_name_args(other);
+                        match other {
+                            TraceEventKind::LbEnd { migrations, cost, .. } => format!(
+                                "{t},{track},{name},,{},0,{migrations},0",
+                                cost.as_nanos()
+                            ),
+                            TraceEventKind::Migration { from_pe, to_pe, .. } => {
+                                format!("{t},{track},{name},,0,0,{from_pe},{to_pe}")
+                            }
+                            TraceEventKind::CkptBegin { chares, bytes } => {
+                                format!("{t},{track},{name},,0,{bytes},{chares},0")
+                            }
+                            TraceEventKind::NodeFail { first_pe, num_pes } => {
+                                format!("{t},{track},{name},,0,0,{first_pe},{num_pes}")
+                            }
+                            TraceEventKind::Reconfigure { from, to } => {
+                                format!("{t},{track},{name},,0,0,{from},{to}")
+                            }
+                            _ => format!("{t},{track},{name},,0,0,0,0"),
+                        }
+                    }
+                };
+                out.push_str(&row);
+                out.push('\n');
+            }
+        }
+        Some(out)
+    }
+
+    /// Render the projections-lite text report: top-`top_k` entry methods
+    /// by total busy time, the per-PE utilization profile, communication
+    /// hotspots, network-model totals, and the LB/FT event ledger. `None`
+    /// when tracing is off.
+    pub fn projections_report(&self, top_k: usize) -> Option<String> {
+        let tr = self.tracer.as_ref()?;
+        let mut out = String::new();
+        let profiles = self.trace_profiles();
+        let total_busy: f64 = profiles.iter().map(|p| p.total_s).sum();
+        let _ = writeln!(
+            out,
+            "== projections-lite @ {:.6}s — {} PEs, {} entry methods, {} dropped log record(s)",
+            self.now().as_secs_f64(),
+            tr.num_pes,
+            profiles.len(),
+            tr.dropped_events()
+        );
+
+        let _ = writeln!(out, "-- top entry methods by total busy time");
+        let _ = writeln!(
+            out,
+            "  {:<36} {:>8} {:>12} {:>10} {:>10} {:>10} {:>6}",
+            "entry", "count", "total", "avg", "min", "max", "%busy"
+        );
+        for p in profiles.iter().take(top_k) {
+            let pct = if total_busy > 0.0 { 100.0 * p.total_s / total_busy } else { 0.0 };
+            let _ = writeln!(
+                out,
+                "  {:<36} {:>8} {:>12} {:>10} {:>10} {:>10} {:>5.1}%",
+                p.name,
+                p.count,
+                fmt_secs(p.total_s),
+                fmt_secs(p.avg_s()),
+                fmt_secs(p.min_s),
+                fmt_secs(p.max_s),
+                pct
+            );
+        }
+
+        let (bin_s, rows) = tr.util_timeline();
+        let nbins = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "-- PE utilization ({} bins of {}; sparkline digits = busy tenths)",
+            nbins,
+            fmt_secs(bin_s)
+        );
+        for (pe, row) in rows.iter().enumerate() {
+            let mean = if row.is_empty() { 0.0 } else { row.iter().sum::<f64>() / nbins.max(1) as f64 };
+            let spark: String = (0..nbins)
+                .map(|i| {
+                    let u = row.get(i).copied().unwrap_or(0.0).clamp(0.0, 1.0);
+                    char::from_digit((u * 9.0).round() as u32, 10).unwrap_or('9')
+                })
+                .collect();
+            let _ = writeln!(out, "  pe {pe:>3} {:>5.1}% |{spark}|", mean * 100.0);
+        }
+
+        let mut pairs: Vec<(usize, usize, u64, u64)> = Vec::new();
+        for src in 0..tr.num_pes {
+            for dst in 0..tr.num_pes {
+                let (b, m) = tr.comm(src, dst);
+                if b > 0 && src != dst {
+                    pairs.push((src, dst, b, m));
+                }
+            }
+        }
+        pairs.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| (a.0, a.1).cmp(&(b.0, b.1))));
+        let _ = writeln!(out, "-- comm hotspots (PE -> PE, remote only)");
+        for (src, dst, b, m) in pairs.iter().take(top_k) {
+            let _ = writeln!(out, "  pe {src:>3} -> pe {dst:>3}  {b:>12} B  {m:>8} msg(s)");
+        }
+        let c = self.net.counters();
+        let _ = writeln!(
+            out,
+            "-- network model: {} remote msg(s), {} B remote, {} local hop(s)",
+            c.remote_msgs, c.remote_bytes, c.local_msgs
+        );
+
+        let _ = writeln!(out, "-- LB/FT event ledger ({} entries)", tr.ledger.len());
+        for (t, line) in tr.ledger() {
+            let _ = writeln!(out, "  {:>12.6}s  {line}", t.as_secs_f64());
+        }
+        if tr.ledger_dropped > 0 {
+            let _ = writeln!(out, "  ... {} ledger entries dropped", tr.ledger_dropped);
+        }
+        Some(out)
+    }
+}
+
+/// Name + JSON args for the RTS-level event kinds.
+fn rts_name_args(kind: &TraceEventKind) -> (&'static str, String) {
+    match kind {
+        TraceEventKind::LbBegin { strategy, objs } => {
+            ("lb_begin", format!("\"strategy\":\"{strategy}\",\"objs\":{objs}"))
+        }
+        TraceEventKind::LbEnd { strategy, migrations, cost } => (
+            "lb_end",
+            format!(
+                "\"strategy\":\"{strategy}\",\"migrations\":{migrations},\"cost_us\":{}",
+                us(*cost)
+            ),
+        ),
+        TraceEventKind::Migration { obj, from_pe, to_pe } => (
+            "migration",
+            format!("\"ix\":\"{:?}\",\"from_pe\":{from_pe},\"to_pe\":{to_pe}", obj.ix),
+        ),
+        TraceEventKind::CkptBegin { chares, bytes } => {
+            ("ckpt_begin", format!("\"chares\":{chares},\"bytes\":{bytes}"))
+        }
+        TraceEventKind::CkptCommit => ("ckpt_commit", String::new()),
+        TraceEventKind::CkptAbort => ("ckpt_abort", String::new()),
+        TraceEventKind::NodeFail { first_pe, num_pes } => {
+            ("node_fail", format!("\"first_pe\":{first_pe},\"num_pes\":{num_pes}"))
+        }
+        TraceEventKind::Rollback { to, chares } => (
+            "rollback",
+            format!("\"to_us\":{},\"chares\":{chares}", us(*to)),
+        ),
+        TraceEventKind::Unrecoverable { lost } => ("unrecoverable", format!("\"lost\":{lost}")),
+        TraceEventKind::DvfsFreq { chip, freq_factor } => (
+            "dvfs_freq",
+            format!("\"chip\":{chip},\"freq\":{freq_factor:.4}"),
+        ),
+        TraceEventKind::Reconfigure { from, to } => {
+            ("reconfigure", format!("\"from\":{from},\"to\":{to}"))
+        }
+        _ => ("event", String::new()),
+    }
+}
+
+fn fmt_secs(v: f64) -> String {
+    if v >= 1.0 {
+        format!("{v:.3}s")
+    } else if v >= 1e-3 {
+        format!("{:.3}ms", v * 1e3)
+    } else {
+        format!("{:.1}us", v * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_bounds_memory_and_counts_drops() {
+        let mut r = Ring::new(4);
+        for i in 0..10u64 {
+            r.push(TraceRecord {
+                t: SimTime(i),
+                track: 0,
+                kind: TraceEventKind::PeBusy,
+            });
+        }
+        assert_eq!(r.buf.len(), 4);
+        assert_eq!(r.dropped, 6);
+        let kept: Vec<u64> = r.iter().map(|x| x.t.0).collect();
+        assert_eq!(kept, vec![6, 7, 8, 9], "newest records are retained, in order");
+    }
+
+    #[test]
+    fn zero_capacity_ring_drops_everything() {
+        let mut r = Ring::new(0);
+        for i in 0..5u64 {
+            r.push(TraceRecord {
+                t: SimTime(i),
+                track: 0,
+                kind: TraceEventKind::PeIdle,
+            });
+        }
+        assert_eq!(r.buf.len(), 0);
+        assert_eq!(r.dropped, 5);
+    }
+
+    #[test]
+    fn util_timeline_folds_to_stay_bounded() {
+        let mut u = UtilTimeline::new(SimTime::from_nanos(10), 4, 1);
+        // Fill [0, 200) ns busy: needs 20 ten-ns bins, budget is 4 → folds.
+        u.add(0, SimTime(0), SimTime(200));
+        assert!(u.per_pe[0].len() <= 4, "bins={}", u.per_pe[0].len());
+        assert_eq!(u.per_pe[0].iter().sum::<u64>(), 200, "busy ns conserved");
+        assert!(u.bin_ns >= 50, "bin widened: {}", u.bin_ns);
+    }
+
+    #[test]
+    fn util_timeline_splits_across_bins() {
+        let mut u = UtilTimeline::new(SimTime::from_nanos(100), 64, 2);
+        u.add(1, SimTime(50), SimTime(250));
+        assert_eq!(u.per_pe[1], vec![50, 100, 50]);
+        assert!(u.per_pe[0].is_empty());
+    }
+
+    #[test]
+    fn entry_agg_tracks_extremes_and_histogram() {
+        let mut a = EntryAgg::new();
+        a.add(SimTime(100));
+        a.add(SimTime(1000));
+        a.add(SimTime(1));
+        assert_eq!(a.count, 3);
+        assert_eq!(a.total, SimTime(1101));
+        assert_eq!(a.min, SimTime(1));
+        assert_eq!(a.max, SimTime(1000));
+        assert_eq!(a.hist.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn microsecond_formatting_is_exact() {
+        assert_eq!(us(SimTime(1_234_567)), "1234.567");
+        assert_eq!(us(SimTime(999)), "0.999");
+        assert_eq!(us(SimTime(1_000)), "1.000");
+    }
+}

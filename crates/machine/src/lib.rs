@@ -34,7 +34,7 @@ pub mod topology;
 pub use disk::{DiskFault, DiskModel};
 pub use events::EventQueue;
 pub use failure::FailurePlan;
-pub use network::{NetworkModel, NetworkParams};
+pub use network::{NetCounters, NetworkModel, NetworkParams};
 pub use speed::{InterferenceWindow, SpeedModel};
 pub use time::SimTime;
 pub use topology::Torus;

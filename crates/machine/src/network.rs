@@ -92,11 +92,26 @@ impl NetworkParams {
     }
 }
 
+/// Running totals of network-model activity — every [`NetworkModel::delay`]
+/// evaluation, whether for an application message or a modeled protocol
+/// exchange (home-PE queries, LB gathers, barrier hops). Always on: two
+/// integer adds per call, read by the tracing/report layer.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NetCounters {
+    /// Remote (cross-PE) delay evaluations.
+    pub remote_msgs: u64,
+    /// Bytes across remote delay evaluations.
+    pub remote_bytes: u64,
+    /// Same-PE deliveries (scheduler-queue hops only).
+    pub local_msgs: u64,
+}
+
 /// The stateful network model (owns the jitter RNG).
 pub struct NetworkModel {
     params: NetworkParams,
     torus: Option<Torus>,
     rng: StdRng,
+    counters: NetCounters,
 }
 
 impl NetworkModel {
@@ -107,6 +122,7 @@ impl NetworkModel {
             params,
             torus,
             rng: StdRng::seed_from_u64(seed ^ 0x006e_6574_776f_726b_u64),
+            counters: NetCounters::default(),
         }
     }
 
@@ -115,14 +131,22 @@ impl NetworkModel {
         &self.params
     }
 
+    /// Activity totals since construction.
+    pub fn counters(&self) -> NetCounters {
+        self.counters
+    }
+
     /// One-way delivery delay for a `bytes`-byte message from `src` to `dst`.
     ///
     /// Same-PE messages cost only the scheduler hop. Jitter, when enabled,
     /// multiplies the network portion by `1 ± U(0, jitter)`.
     pub fn delay(&mut self, src: usize, dst: usize, bytes: usize) -> SimTime {
         if src == dst {
+            self.counters.local_msgs += 1;
             return self.params.local_delivery;
         }
+        self.counters.remote_msgs += 1;
+        self.counters.remote_bytes += bytes as u64;
         let transfer = SimTime::from_secs_f64(bytes as f64 * self.params.beta_sec_per_byte);
         let hop_cost = match &self.torus {
             Some(t) if src < t.size() && dst < t.size() => {
@@ -196,6 +220,19 @@ mod tests {
             let net = da.saturating_sub(p.injection_overhead);
             assert!(net >= lo && net <= hi, "jitter out of bounds");
         }
+    }
+
+    #[test]
+    fn counters_track_delay_calls() {
+        let mut n = NetworkModel::new(NetworkParams::infiniband(), 1);
+        assert_eq!(n.counters(), NetCounters::default());
+        n.delay(0, 0, 100);
+        n.delay(0, 1, 100);
+        n.delay(1, 2, 50);
+        let c = n.counters();
+        assert_eq!(c.local_msgs, 1);
+        assert_eq!(c.remote_msgs, 2);
+        assert_eq!(c.remote_bytes, 150);
     }
 
     #[test]

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Tracing smoke test: run the projections-lite demo driver (which already
+# self-checks busy-time agreement and exits non-zero on mismatch), then
+# validate that the exported Chrome trace is well-formed JSON with the
+# expected event phases and one track per PE plus the RTS track.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo run --release -q -p charm-bench --bin projections_lite
+
+python3 - <<'EOF'
+import json
+
+with open("results/trace_leanmd.json") as f:
+    trace = json.load(f)
+
+events = trace["traceEvents"]
+assert trace.get("displayTimeUnit") == "ms", "Perfetto display unit missing"
+assert events, "trace has no events"
+
+phases = {e["ph"] for e in events}
+assert "X" in phases, "no complete (entry-method) spans"
+assert "M" in phases, "no thread_name metadata"
+assert "i" in phases, "no instant (RTS) events"
+assert "C" in phases, "no counter (busy) events"
+
+names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+assert "RTS" in names, "RTS track missing"
+pe_tracks = {n for n in names if n.startswith("PE ")}
+assert len(pe_tracks) >= 2, "expected one named track per PE"
+
+for e in events:
+    assert isinstance(e["pid"], int) and isinstance(e["tid"], int)
+    if e["ph"] == "X":
+        assert float(e["dur"]) >= 0.0
+
+print(f"trace smoke ok: {len(events)} events, {len(pe_tracks)} PE tracks + RTS")
+EOF
+
+echo "trace smoke test passed"
