@@ -68,6 +68,10 @@ pub struct LeanMdConfig {
     pub seed: u64,
     /// Projections-lite tracing (None = off; see `charm_core::trace`).
     pub trace: Option<charm_core::TraceConfig>,
+    /// Record a replay log (None = off; see `charm_core::replay`).
+    pub record: Option<charm_core::ReplayConfig>,
+    /// Schedule perturbation for race hunting (None = off).
+    pub perturb: Option<charm_core::PerturbConfig>,
 }
 
 impl Default for LeanMdConfig {
@@ -88,6 +92,8 @@ impl Default for LeanMdConfig {
             strategy: None,
             seed: 42,
             trace: None,
+            record: None,
+            perturb: None,
         }
     }
 }
@@ -535,6 +541,12 @@ pub fn run_with_runtime(mut config: LeanMdConfig) -> (AppRun, Runtime) {
     }
     if let Some(tc) = config.trace.take() {
         b = b.tracing(tc);
+    }
+    if let Some(rc) = config.record.take() {
+        b = b.record(rc);
+    }
+    if let Some(pc) = config.perturb.take() {
+        b = b.perturb(pc);
     }
     let has_strategy = config.strategy.is_some();
     if let Some(s) = config.strategy.take() {

@@ -48,6 +48,10 @@ pub struct PdesConfig {
     pub tram: Option<TramConfig>,
     /// Seed.
     pub seed: u64,
+    /// Record a replay log (None = off; see `charm_core::replay`).
+    pub record: Option<charm_core::ReplayConfig>,
+    /// Schedule perturbation for race hunting (None = off).
+    pub perturb: Option<charm_core::PerturbConfig>,
 }
 
 impl Default for PdesConfig {
@@ -62,6 +66,8 @@ impl Default for PdesConfig {
             flops_per_event: 500.0,
             tram: None,
             seed: 42,
+            record: None,
+            perturb: None,
         }
     }
 }
@@ -347,9 +353,27 @@ impl Chare for Driver {
 
 /// Run PHOLD under YAWNS; returns throughput numbers.
 pub fn run(config: PdesConfig) -> PdesRun {
+    let (run, _rt) = run_with_runtime(config);
+    run
+}
+
+/// Run PHOLD and also hand back the runtime (replay-log and metric
+/// inspection).
+pub fn run_with_runtime(mut config: PdesConfig) -> (PdesRun, Runtime) {
     let num_pes = config.machine.num_pes;
     let num_lps = num_pes * config.lps_per_pe;
-    let mut rt = Runtime::builder(config.machine).seed(config.seed).build();
+    let mut b = Runtime::builder(std::mem::replace(
+        &mut config.machine,
+        MachineConfig::homogeneous(1),
+    ))
+    .seed(config.seed);
+    if let Some(rc) = config.record.take() {
+        b = b.record(rc);
+    }
+    if let Some(pc) = config.perturb.take() {
+        b = b.perturb(pc);
+    }
+    let mut rt = b.build();
     let lps: ArrayProxy<Lp> = rt.create_array("pdes_lps");
     let driver: ArrayProxy<Driver> = rt.create_array("pdes_driver");
     let tram = config
@@ -418,13 +442,14 @@ pub fn run(config: PdesConfig) -> PdesRun {
         .map(|&(_, v)| v as u64)
         .unwrap_or(0);
     let time_s = summary.end_time.as_secs_f64();
-    PdesRun {
+    let run = PdesRun {
         events_executed: executed,
         time_s,
         event_rate: executed as f64 / time_s.max(1e-12),
         windows,
         repolls,
-    }
+    };
+    (run, rt)
 }
 
 #[cfg(test)]

@@ -40,6 +40,10 @@ pub struct StencilConfig {
     pub failures: Vec<(SimTime, usize)>,
     /// RNG seed.
     pub seed: u64,
+    /// Record a replay log (None = off; see `charm_core::replay`).
+    pub record: Option<charm_core::ReplayConfig>,
+    /// Schedule perturbation for race hunting (None = off).
+    pub perturb: Option<charm_core::PerturbConfig>,
 }
 
 impl StencilConfig {
@@ -60,6 +64,8 @@ impl StencilConfig {
             auto_ckpt: None,
             failures: Vec::new(),
             seed: 42,
+            record: None,
+            perturb: None,
         }
     }
 }
@@ -254,7 +260,14 @@ impl Chare for Driver {
 }
 
 /// Run Stencil2D and return per-step timings.
-pub fn run(mut config: StencilConfig) -> AppRun {
+pub fn run(config: StencilConfig) -> AppRun {
+    let (run, _rt) = run_with_runtime(config);
+    run
+}
+
+/// Run Stencil2D and also hand back the runtime (replay-log and metric
+/// inspection).
+pub fn run_with_runtime(mut config: StencilConfig) -> (AppRun, Runtime) {
     let mut b = Runtime::builder(std::mem::replace(
         &mut config.machine,
         MachineConfig::homogeneous(1),
@@ -268,6 +281,12 @@ pub fn run(mut config: StencilConfig) -> AppRun {
     }
     if let Some(interval) = config.auto_ckpt {
         b = b.auto_checkpoint(interval);
+    }
+    if let Some(rc) = config.record.take() {
+        b = b.record(rc);
+    }
+    if let Some(pc) = config.perturb.take() {
+        b = b.perturb(pc);
     }
     let mut rt = b.build();
     for (t, pe) in &config.failures {
@@ -320,7 +339,7 @@ pub fn run(mut config: StencilConfig) -> AppRun {
         run.step_times.truncate(config.steps as usize);
         let _ = t;
     }
-    run
+    (run, rt)
 }
 
 /// Run and also report the thermal journal (Fig. 4 needs max temp).

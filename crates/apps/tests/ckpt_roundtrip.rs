@@ -1,0 +1,53 @@
+//! Whole-app PUP round-trip: disk-checkpoint a finished mini-app run,
+//! restore it (pup → unpup over every real chare state), checkpoint again,
+//! and require the two images to be *byte-identical*. Any lossy or
+//! order-unstable `Pup` implementation in any chare breaks this.
+
+use charm_apps::{leanmd, pdes, stencil};
+use charm_core::Runtime;
+use charm_machine::presets;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("charm_apps_ckpt_roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn assert_ckpt_roundtrip(mut rt: Runtime, name: &str) {
+    let a = tmp(&format!("{name}_a.bin"));
+    let b = tmp(&format!("{name}_b.bin"));
+    rt.checkpoint_to_disk(&a).expect("first checkpoint");
+    rt.restore_from_disk(&a).expect("self-restore");
+    rt.checkpoint_to_disk(&b).expect("second checkpoint");
+    let ia = std::fs::read(&a).unwrap();
+    let ib = std::fs::read(&b).unwrap();
+    assert!(!ia.is_empty());
+    assert_eq!(ia, ib, "{name}: checkpoint image changed across pup→unpup→pup");
+}
+
+#[test]
+fn leanmd_checkpoint_image_is_pup_stable() {
+    let (_run, rt) = leanmd::run_with_runtime(leanmd::LeanMdConfig {
+        steps: 4,
+        ..Default::default()
+    });
+    assert_ckpt_roundtrip(rt, "leanmd");
+}
+
+#[test]
+fn stencil_checkpoint_image_is_pup_stable() {
+    let mut cfg = stencil::StencilConfig::cloud_4k(presets::cloud(8), 2);
+    cfg.steps = 4;
+    let (_run, rt) = stencil::run_with_runtime(cfg);
+    assert_ckpt_roundtrip(rt, "stencil");
+}
+
+#[test]
+fn pdes_checkpoint_image_is_pup_stable() {
+    let (_run, rt) = pdes::run_with_runtime(pdes::PdesConfig {
+        windows: 6,
+        ..Default::default()
+    });
+    assert_ckpt_roundtrip(rt, "pdes");
+}

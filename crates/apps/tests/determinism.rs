@@ -1,0 +1,39 @@
+//! Determinism regression: two same-seed runs must be *byte-identical*,
+//! even with measurement-based load balancing enabled (LB is where
+//! hash-map iteration order historically leaks into behavior).
+
+use charm_apps::leanmd::{run_with_runtime, LeanMdConfig};
+use charm_core::TraceConfig;
+use charm_lb::GreedyLb;
+
+fn chrome_trace(steps: u64) -> String {
+    let (run, rt) = run_with_runtime(LeanMdConfig {
+        cells_per_dim: 3,
+        atoms_per_cell: 40,
+        steps,
+        lb_every: 2,
+        strategy: Some(Box::new(GreedyLb)),
+        trace: Some(TraceConfig::default()),
+        ..LeanMdConfig::default()
+    });
+    assert!(run.unrecoverable.is_none());
+    assert!(run.lb_rounds >= 1, "LB actually ran");
+    rt.trace_chrome_json().expect("tracing was enabled")
+}
+
+#[test]
+fn same_seed_runs_export_byte_identical_traces_with_lb() {
+    let a = chrome_trace(6);
+    let b = chrome_trace(6);
+    assert!(!a.is_empty());
+    assert!(a == b, "same-seed Chrome traces differ");
+}
+
+#[test]
+fn different_workloads_differ() {
+    // Sanity that the equality above is not vacuous: a different workload
+    // must change the trace.
+    let a = chrome_trace(6);
+    let c = chrome_trace(5);
+    assert!(a != c, "workload has no effect on the trace at all");
+}

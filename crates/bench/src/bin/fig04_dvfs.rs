@@ -32,6 +32,8 @@ fn config(scheme: DvfsScheme, with_lb: bool, scale: Scale) -> StencilConfig {
         auto_ckpt: None,
         failures: Vec::new(),
         seed: 42,
+        record: None,
+        perturb: None,
     }
 }
 

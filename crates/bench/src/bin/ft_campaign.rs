@@ -19,9 +19,10 @@
 
 use charm_apps::leanmd::{self, LeanMdConfig};
 use charm_apps::stencil::{self, StencilConfig};
-use charm_bench::Figure;
-use charm_core::{buddy_pe, SimTime};
+use charm_bench::{results_path, Figure};
+use charm_core::{buddy_pe, ReplayConfig, SimTime};
 use charm_machine::presets;
+use charm_replay::ReplayLog;
 
 /// Stencil runs on single-PE cloud nodes; LeanMD on a 2-node BG/Q (16
 /// PEs/node), where one injected failure expands to a whole node and the
@@ -139,30 +140,36 @@ fn classify(steps_done: usize, steps_want: u64, unrecoverable: Option<String>) -
 fn run_leanmd(
     auto_ckpt: Option<SimTime>,
     failures: Vec<(SimTime, usize)>,
-) -> (usize, f64, Option<String>) {
-    let run = leanmd::run(LeanMdConfig {
+    record: bool,
+) -> (usize, f64, Option<String>, Option<ReplayLog>) {
+    let (run, mut rt) = leanmd::run_with_runtime(LeanMdConfig {
         machine: presets::bgq(LEANMD_PES),
         cells_per_dim: 3,
         atoms_per_cell: 40,
         steps: 8,
         auto_ckpt,
         failures,
+        record: record.then(ReplayConfig::default),
         ..LeanMdConfig::default()
     });
-    (run.step_times.len(), run.total_s, run.unrecoverable)
+    let log = rt.take_replay_log();
+    (run.step_times.len(), run.total_s, run.unrecoverable, log)
 }
 
 fn run_stencil(
     auto_ckpt: Option<SimTime>,
     failures: Vec<(SimTime, usize)>,
-) -> (usize, f64, Option<String>) {
+    record: bool,
+) -> (usize, f64, Option<String>, Option<ReplayLog>) {
     let mut c = StencilConfig::cloud_4k(presets::cloud(STENCIL_PES), 2);
     c.grid = 256; // keep checkpoint replication short relative to a step
     c.steps = 10;
     c.auto_ckpt = auto_ckpt;
     c.failures = failures;
-    let run = stencil::run(c);
-    (run.step_times.len(), run.total_s, run.unrecoverable)
+    c.record = record.then(ReplayConfig::default);
+    let (run, mut rt) = stencil::run_with_runtime(c);
+    let log = rt.take_replay_log();
+    (run.step_times.len(), run.total_s, run.unrecoverable, log)
 }
 
 fn main() {
@@ -174,11 +181,15 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(20);
+    // --record: every failure run also writes a replayable log next to the
+    // CSV, so a flagged row can be re-examined (verify/whatif/race-hunt)
+    // without regenerating the schedule.
+    let record = std::env::args().any(|a| a == "--record");
 
     let mut fig = Figure::new(
         "ftcamp",
         "fault-injection campaign: LeanMD + Stencil2D under seeded failure schedules",
-        &["app", "kind", "seed", "pes", "ckpt_s", "failures", "outcome", "detail"],
+        &["app", "kind", "seed", "pes", "ckpt_s", "failures", "outcome", "detail", "replay_log"],
     );
     fig.note(format!(
         "campaign seed {campaign_seed}, {runs_per_app} runs/app; \
@@ -190,8 +201,8 @@ fn main() {
         // Failure-free probe for the app's duration, then checkpoint every
         // fifth of it.
         let (pes, steps_want, probe) = match app {
-            "leanmd" => (LEANMD_PES, 8u64, run_leanmd(None, Vec::new())),
-            _ => (STENCIL_PES, 10u64, run_stencil(None, Vec::new())),
+            "leanmd" => (LEANMD_PES, 8u64, run_leanmd(None, Vec::new(), false)),
+            _ => (STENCIL_PES, 10u64, run_stencil(None, Vec::new(), false)),
         };
         assert!(probe.2.is_none() && probe.0 >= steps_want as usize);
         let t_free = probe.1;
@@ -203,9 +214,22 @@ fn main() {
             let kind = KINDS[k % KINDS.len()];
             let seed = schedule_seed(campaign_seed, app, k as u64);
             let schedule = gen_schedule(kind, seed, t_free, interval, pes);
-            let (steps_done, _, unrec) = match app {
-                "leanmd" => run_leanmd(Some(auto), schedule.clone()),
-                _ => run_stencil(Some(auto), schedule.clone()),
+            let (steps_done, _, unrec, log) = match app {
+                "leanmd" => run_leanmd(Some(auto), schedule.clone(), record),
+                _ => run_stencil(Some(auto), schedule.clone(), record),
+            };
+            let log_cell = match log {
+                Some(mut l) => {
+                    l.app = app.to_string();
+                    let name = format!("ftcamp_{app}_{k:02}.rlog");
+                    match results_path(&name)
+                        .and_then(|p| charm_replay::save(&l, &p).map(|()| p))
+                    {
+                        Ok(p) => p.display().to_string(),
+                        Err(e) => format!("save failed: {e}"),
+                    }
+                }
+                None => "-".to_string(),
             };
             let o = classify(steps_done, steps_want, unrec);
             match o.label {
@@ -231,6 +255,7 @@ fn main() {
                 fails.join("+"),
                 o.label.to_string(),
                 o.detail,
+                log_cell,
             ]);
         }
         fig.note(format!(

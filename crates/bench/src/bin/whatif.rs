@@ -1,0 +1,62 @@
+//! What-if driver (BigSim-lite): record LeanMD once on the BG/Q preset,
+//! replay its computation/communication DAG on the other machine presets,
+//! and compare each prediction against an *actual* run on that machine.
+
+use charm_bench::{fmt_s, Figure};
+use charm_core::ReplayConfig;
+use charm_machine::{presets, MachineConfig, SimTime};
+use charm_replay::{whatif, ReplayLog};
+
+fn record_on(machine: MachineConfig) -> ReplayLog {
+    let (_run, mut rt) = charm_apps::leanmd::run_with_runtime(charm_apps::leanmd::LeanMdConfig {
+        machine,
+        steps: 6,
+        record: Some(ReplayConfig::default()),
+        ..Default::default()
+    });
+    let mut log = rt.take_replay_log().expect("recording was on");
+    log.app = "leanmd".into();
+    log
+}
+
+fn main() {
+    let pes = 32;
+    let log = record_on(presets::bgq(pes));
+    let recorded_s = SimTime(log.end_ns).as_secs_f64();
+
+    let mut fig = Figure::new(
+        "whatif",
+        "What-if machine re-simulation of one LeanMD recording (BG/Q, 32 PEs)",
+        &["what-if machine", "predicted", "actual", "error", "predicted util"],
+    );
+    fig.note(format!(
+        "recording: {} entries on {}, makespan {}",
+        log.execs.len(),
+        log.machine,
+        fmt_s(recorded_s)
+    ));
+
+    let mut worst = 0.0f64;
+    for target in [presets::bgq(pes), presets::cloud(pes), presets::stampede(pes), presets::xe6(pes)] {
+        let rep = whatif(&log, &target);
+        let actual = SimTime(record_on(target).end_ns).as_secs_f64();
+        let err = rep.error_vs(actual);
+        worst = worst.max(err);
+        fig.row(vec![
+            rep.machine.clone(),
+            fmt_s(rep.predicted_makespan_s),
+            fmt_s(actual),
+            format!("{:.1}%", err * 100.0),
+            format!("{:.1}%", rep.utilization * 100.0),
+        ]);
+    }
+
+    fig.note("predictions replay the recorded DAG through charm_machine::simulate_dag; no application logic re-runs");
+    fig.emit();
+    let _ = fig.save_csv();
+
+    if worst > 0.10 {
+        eprintln!("FAIL: worst prediction error {:.1}% exceeds 10%", worst * 100.0);
+        std::process::exit(1);
+    }
+}

@@ -8,16 +8,24 @@ use std::any::Any;
 use std::collections::HashMap;
 
 /// Identifier of a chare array within a runtime.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct ArrayId(pub u32);
 
-/// Global identity of one chare.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Global identity of one chare. Ordered by `(array, ix)`, matching the
+/// sorted-drain convention used everywhere determinism matters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct ObjId {
     /// The array the chare belongs to.
     pub array: ArrayId,
     /// The chare's index within the array.
     pub ix: Ix,
+}
+
+impl charm_pup::Pup for ObjId {
+    fn pup(&mut self, p: &mut charm_pup::Puper) {
+        p.p(&mut self.array);
+        p.p(&mut self.ix);
+    }
 }
 
 /// A typed, copyable handle to a chare array — the equivalent of a Charm++
@@ -131,6 +139,11 @@ pub(crate) trait AnyArray {
     /// Returns false if the element does not exist (message buffered or
     /// dropped by the caller's policy).
     fn execute(&mut self, ix: &Ix, payload: Payload, ctx: &mut Ctx<'_>) -> bool;
+    /// PUP digest of a user message destined for this array (0 on a type
+    /// mismatch — `execute` will panic with context anyway).
+    fn user_msg_digest(&self, msg: &mut Box<dyn Any>) -> u64;
+    /// PUP digest of one element's chare state.
+    fn digest_element(&mut self, ix: &Ix) -> Option<u64>;
     /// Serialize an element (for migration / checkpoints).
     fn pack_element(&mut self, ix: &Ix) -> Option<Vec<u8>>;
     /// Deserialize and (re-)insert an element at `pe`.
@@ -263,6 +276,18 @@ impl<C: Chare> AnyArray for ArrayStore<C> {
             Payload::Sys(ev) => e.chare.on_event(ev, ctx),
         }
         true
+    }
+
+    fn user_msg_digest(&self, msg: &mut Box<dyn Any>) -> u64 {
+        msg.downcast_mut::<C::Msg>()
+            .map(charm_pup::digest_of)
+            .unwrap_or(0)
+    }
+
+    fn digest_element(&mut self, ix: &Ix) -> Option<u64> {
+        self.elements
+            .get_mut(ix)
+            .map(|e| charm_pup::digest_of(&mut e.chare))
     }
 
     fn pack_element(&mut self, ix: &Ix) -> Option<Vec<u8>> {

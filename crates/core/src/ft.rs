@@ -26,7 +26,7 @@ use crate::chare::{Callback, SysEvent};
 use crate::runtime::{Ev, Runtime, Unrecoverable, ENVELOPE_BYTES};
 use crate::trace::TraceEventKind;
 use charm_machine::SimTime;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 use std::path::Path;
 
@@ -41,11 +41,13 @@ const DISK_MAGIC: &[u8; 8] = b"CHMCKPT2";
 
 /// An in-memory snapshot of the entire application.
 pub struct MemCheckpoint {
-    /// Packed state of every chare, keyed by identity.
-    pub(crate) bytes: HashMap<ObjId, Vec<u8>>,
+    /// Packed state of every chare, keyed by identity. Ordered map: restore
+    /// iterates it, and record/replay requires that order to be
+    /// deterministic across runs.
+    pub(crate) bytes: BTreeMap<ObjId, Vec<u8>>,
     /// PE each chare lived on at checkpoint time — where the *local* copy
     /// resides; the second copy lives on that PE's [`buddy_pe`].
-    pub(crate) placement: HashMap<ObjId, usize>,
+    pub(crate) placement: BTreeMap<ObjId, usize>,
     /// Virtual time the checkpoint was taken.
     pub(crate) taken_at: SimTime,
     /// Per-PE checkpoint volume (drives the buddy-transfer cost model).
@@ -104,8 +106,8 @@ impl Runtime {
             self.deliver_callback(cb, SysEvent::CheckpointDone, done);
             return;
         }
-        let mut bytes = HashMap::new();
-        let mut placement = HashMap::new();
+        let mut bytes = BTreeMap::new();
+        let mut placement = BTreeMap::new();
         let mut per_pe = vec![0usize; self.machine.num_pes];
         for s in self.stores.iter_mut() {
             let id = s.id();

@@ -71,6 +71,7 @@ pub mod interop;
 pub mod lbframework;
 mod malleable;
 pub mod power;
+pub mod replay;
 mod runtime;
 pub mod trace;
 
@@ -82,6 +83,7 @@ pub use index::Ix;
 pub use interop::CharmLib;
 pub use lbframework::{LbRound, LbStats, LbTrigger, NullLb, ObjStat, Strategy};
 pub use power::DvfsScheme;
+pub use replay::{DigestPoint, ExecRec, PerturbConfig, ReplayConfig, ReplayLog, SendRec};
 pub use runtime::{HomeMap, RunSummary, Runtime, RuntimeBuilder, Unrecoverable, ENVELOPE_BYTES};
 pub use trace::{EntryKind, TraceConfig, TraceEventKind, TraceProfile, TraceRecord, Tracer};
 

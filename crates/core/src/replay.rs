@@ -1,0 +1,516 @@
+//! Record/replay hooks — the runtime half of the `charm-replay` subsystem
+//! (paper §V: Projections/BigSim-style tooling).
+//!
+//! Recording captures the *causal* structure of a run at the same dispatch
+//! points the tracer instruments: one [`ExecRec`] per executed entry method
+//! (which message it consumed, its PUP payload digest, how much work it
+//! declared, what it sent), plus periodic PUP-based chare-state digests and
+//! a final state digest. The log is complete enough to
+//!
+//! * **verify** a re-run digest-for-digest (`charm-replay`'s `verify`),
+//! * **diff** a perturbed run's delivery order per chare (race hunting), and
+//! * **re-simulate** the communication/computation DAG under a different
+//!   [`MachineConfig`](charm_machine::MachineConfig) (what-if prediction).
+//!
+//! Everything here is inert unless [`RuntimeBuilder::record`] /
+//! [`RuntimeBuilder::perturb`](crate::RuntimeBuilder::perturb) was called:
+//! the per-message hooks reduce to a branch on `None`, exactly like tracing.
+
+use crate::array::ObjId;
+use crate::chare::{RedValue, SysEvent};
+use charm_machine::SimTime;
+use std::collections::{HashMap, HashSet};
+
+/// Configuration for [`RuntimeBuilder::record`](crate::RuntimeBuilder::record).
+#[derive(Debug, Clone, Default)]
+pub struct ReplayConfig {
+    /// Take a full chare-state digest point every this many executed entries
+    /// (`None` = only the final state is digested). Periodic points make
+    /// divergence *localization* possible, not just detection.
+    pub digest_every: Option<u64>,
+}
+
+impl ReplayConfig {
+    /// Record with a state-digest point every `n` executed entries.
+    pub fn with_digest_every(n: u64) -> Self {
+        assert!(n > 0, "digest interval must be positive");
+        ReplayConfig {
+            digest_every: Some(n),
+        }
+    }
+}
+
+/// Configuration for [`RuntimeBuilder::perturb`](crate::RuntimeBuilder::perturb):
+/// seeded, causally-valid schedule perturbation. Only *extra delays* are
+/// injected (never early deliveries), so every perturbed schedule is one the
+/// real network could have produced; same-destination messages whose delays
+/// overlap get reordered, which is exactly the race surface.
+#[derive(Debug, Clone)]
+pub struct PerturbConfig {
+    /// Seed of the perturbation RNG (independent of the run seed).
+    pub seed: u64,
+    /// Probability that any one user-message delivery is delayed.
+    pub prob: f64,
+    /// Upper bound on the injected extra delay.
+    pub max_extra: SimTime,
+}
+
+impl Default for PerturbConfig {
+    fn default() -> Self {
+        PerturbConfig {
+            seed: 1,
+            prob: 0.25,
+            max_extra: SimTime::from_micros(100),
+        }
+    }
+}
+
+impl PerturbConfig {
+    /// A perturbation with the default intensity and the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        PerturbConfig {
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// One recorded message send, attached to the execution that produced it
+/// (or to [`ReplayLog::roots`] for host/RTS-injected messages).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SendRec {
+    /// Runtime-wide message id (`Envelope::rec_id`).
+    pub msg_id: u64,
+    /// Wire size including the envelope.
+    pub bytes: u64,
+    /// PE the send was issued from.
+    pub src_pe: u32,
+    /// PE the delivery was scheduled to (post location-resolution).
+    pub dst_pe: u32,
+    /// Spanning-tree depth charged for collective deliveries (0 = plain
+    /// point-to-point).
+    pub tree_depth: u32,
+    /// Control-message size of the home-PE location query round trip that
+    /// preceded this send (0 = cache hit / local).
+    pub rtt_bytes: u64,
+}
+
+charm_pup::impl_pup_struct!(SendRec {
+    msg_id,
+    bytes,
+    src_pe,
+    dst_pe,
+    tree_depth,
+    rtt_bytes
+});
+
+/// One executed entry method: the unit of the recorded DAG. `seq` is the
+/// global execution order (the total order the deterministic scheduler
+/// produced); `msg_id`/`sends` stitch executions into a causal graph.
+#[derive(Debug, Clone, Default)]
+pub struct ExecRec {
+    /// Global execution index (0-based).
+    pub seq: u64,
+    /// PE it ran on.
+    pub pe: u32,
+    /// Virtual start time (ns).
+    pub start_ns: u64,
+    /// Modeled duration (ns): work + scheduling overhead + send costs.
+    pub dur_ns: u64,
+    /// The chare that ran.
+    pub dst: ObjId,
+    /// Index into [`ReplayLog::entry_names`].
+    pub entry: u32,
+    /// Id of the consumed message.
+    pub msg_id: u64,
+    /// The chare whose execution produced the consumed message (`None` for
+    /// host sends and RTS-origin events).
+    pub msg_src: Option<ObjId>,
+    /// PUP digest of the consumed payload.
+    pub msg_digest: u64,
+    /// Wire size of the consumed message.
+    pub msg_bytes: u64,
+    /// Declared work in FLOP (speed-independent, so what-if can re-cost it).
+    pub work: f64,
+    /// Sends charged at remote-injection cost.
+    pub n_remote: u32,
+    /// Sends charged at local-delivery cost.
+    pub n_local: u32,
+    /// Messages this execution produced.
+    pub sends: Vec<SendRec>,
+}
+
+charm_pup::impl_pup_struct!(ExecRec {
+    seq,
+    pe,
+    start_ns,
+    dur_ns,
+    dst,
+    entry,
+    msg_id,
+    msg_src,
+    msg_digest,
+    msg_bytes,
+    work,
+    n_remote,
+    n_local,
+    sends
+});
+
+/// A full chare-state digest at one point of the execution order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DigestPoint {
+    /// Number of entries executed when the point was taken.
+    pub seq: u64,
+    /// Virtual time (ns).
+    pub t_ns: u64,
+    /// `(chare, PUP state digest)`, sorted by chare id.
+    pub digests: Vec<(ObjId, u64)>,
+}
+
+charm_pup::impl_pup_struct!(DigestPoint { seq, t_ns, digests });
+
+/// The complete record of one run. Produced by
+/// [`Runtime::take_replay_log`](crate::Runtime::take_replay_log); persisted
+/// and consumed by the `charm-replay` crate.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayLog {
+    /// Free-form application label (set by the recording driver).
+    pub app: String,
+    /// Machine preset name the run executed on.
+    pub machine: String,
+    /// PE count of the recording run.
+    pub num_pes: u64,
+    /// Run seed.
+    pub seed: u64,
+    /// Per-entry scheduling overhead (ns) of the recording run.
+    pub sched_overhead_ns: u64,
+    /// Spanning-tree arity of the recording run's collectives.
+    pub collective_arity: u64,
+    /// Reference FLOP/s of the recording machine.
+    pub flops_per_sec: f64,
+    /// Interned entry-method names (`ExecRec::entry` indexes this).
+    pub entry_names: Vec<String>,
+    /// Every executed entry, in execution order.
+    pub execs: Vec<ExecRec>,
+    /// Messages injected from outside any execution (host sends, RTS).
+    pub roots: Vec<SendRec>,
+    /// Periodic state-digest points (when configured).
+    pub state_points: Vec<DigestPoint>,
+    /// Digest of every chare's state at the end of the run.
+    pub final_state: DigestPoint,
+    /// Final virtual time (ns).
+    pub end_ns: u64,
+}
+
+charm_pup::impl_pup_struct!(ReplayLog {
+    app,
+    machine,
+    num_pes,
+    seed,
+    sched_overhead_ns,
+    collective_arity,
+    flops_per_sec,
+    entry_names,
+    execs,
+    roots,
+    state_points,
+    final_state,
+    end_ns
+});
+
+/// Digest a system event the way user payloads are digested — manually,
+/// since `SysEvent` deliberately has no wire `Pup` (it never crosses a
+/// checkpoint boundary). Folds the kind name plus every field.
+pub(crate) fn sys_event_digest(ev: &SysEvent) -> u64 {
+    let mut p = charm_pup::Puper::digester();
+    let mut name = ev.kind_name().to_string();
+    p.p(&mut name);
+    match ev {
+        SysEvent::Reduction { tag, value } => {
+            p.p(&mut { *tag });
+            red_value_digest(&mut p, value);
+        }
+        SysEvent::Migrated { from_pe } => p.p(&mut { *from_pe }),
+        SysEvent::Restarted { failed_pe } => p.p(&mut { *failed_pe }),
+        SysEvent::ResumeFromSync
+        | SysEvent::QuiescenceDetected
+        | SysEvent::CheckpointDone
+        | SysEvent::Inserted => {}
+    }
+    p.digest()
+}
+
+fn red_value_digest(p: &mut charm_pup::Puper, v: &RedValue) {
+    match v {
+        RedValue::F64(x) => p.p(&mut { *x }),
+        RedValue::I64(x) => p.p(&mut { *x }),
+        RedValue::VecF64(xs) => p.p(&mut xs.clone()),
+        RedValue::VecI64(xs) => p.p(&mut xs.clone()),
+        RedValue::Bytes(xs) => p.p(&mut xs.clone()),
+    }
+}
+
+/// The in-flight recording state. Lives inside the [`Runtime`](crate::Runtime)
+/// behind an `Option`, tracer-style.
+pub(crate) struct Recorder {
+    pub(crate) cfg: ReplayConfig,
+    entry_names: Vec<String>,
+    entry_ix: HashMap<String, u32>,
+    execs: Vec<ExecRec>,
+    roots: Vec<SendRec>,
+    state_points: Vec<DigestPoint>,
+    /// msg id → index of the producing exec (`None` = external origin).
+    /// Lookup-only; never iterated.
+    origin: HashMap<u64, Option<usize>>,
+    /// msg ids whose routing was already recorded (re-routes after limbo
+    /// flushes and stale-cache forwards must not duplicate the send).
+    routed: HashSet<u64>,
+    /// Index of the exec currently applying its actions.
+    current: Option<usize>,
+}
+
+impl Recorder {
+    pub(crate) fn new(cfg: ReplayConfig) -> Self {
+        Recorder {
+            cfg,
+            entry_names: Vec::new(),
+            entry_ix: HashMap::new(),
+            execs: Vec::new(),
+            roots: Vec::new(),
+            state_points: Vec::new(),
+            origin: HashMap::new(),
+            routed: HashSet::new(),
+            current: None,
+        }
+    }
+
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.entry_ix.get(name) {
+            return i;
+        }
+        let i = self.entry_names.len() as u32;
+        self.entry_names.push(name.to_string());
+        self.entry_ix.insert(name.to_string(), i);
+        i
+    }
+
+    /// Number of entries executed so far.
+    pub(crate) fn execs_len(&self) -> u64 {
+        self.execs.len() as u64
+    }
+
+    /// A new message was created; remember which exec (if any) produced it.
+    pub(crate) fn note_origin(&mut self, msg_id: u64) {
+        self.origin.insert(msg_id, self.current);
+    }
+
+    /// A message's delivery was scheduled (first routing only; later
+    /// forwards and limbo re-flushes are extra hops of the same send).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_routed(
+        &mut self,
+        msg_id: u64,
+        bytes: usize,
+        src_pe: usize,
+        dst_pe: usize,
+        tree_depth: u64,
+        rtt_bytes: usize,
+    ) {
+        if !self.routed.insert(msg_id) {
+            return;
+        }
+        let rec = SendRec {
+            msg_id,
+            bytes: bytes as u64,
+            src_pe: src_pe as u32,
+            dst_pe: dst_pe as u32,
+            tree_depth: tree_depth as u32,
+            rtt_bytes: rtt_bytes as u64,
+        };
+        match self.origin.get(&msg_id).copied().flatten() {
+            Some(i) => self.execs[i].sends.push(rec),
+            None => self.roots.push(rec),
+        }
+    }
+
+    /// An entry method is about to apply its actions; every send recorded
+    /// until [`Recorder::end_exec`] belongs to it. Returns the exec seq.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn begin_exec(
+        &mut self,
+        pe: usize,
+        start: SimTime,
+        dur: SimTime,
+        dst: ObjId,
+        entry_name: &str,
+        msg_id: u64,
+        msg_digest: u64,
+        msg_bytes: usize,
+        work: f64,
+        n_remote: u32,
+        n_local: u32,
+    ) {
+        let entry = self.intern(entry_name);
+        let seq = self.execs.len() as u64;
+        let msg_src = self
+            .origin
+            .get(&msg_id)
+            .copied()
+            .flatten()
+            .map(|i| self.execs[i].dst);
+        self.execs.push(ExecRec {
+            seq,
+            pe: pe as u32,
+            start_ns: start.0,
+            dur_ns: dur.0,
+            dst,
+            entry,
+            msg_id,
+            msg_src,
+            msg_digest,
+            msg_bytes: msg_bytes as u64,
+            work,
+            n_remote,
+            n_local,
+            sends: Vec::new(),
+        });
+        self.current = Some(self.execs.len() - 1);
+    }
+
+    pub(crate) fn end_exec(&mut self) {
+        self.current = None;
+    }
+
+    pub(crate) fn push_state_point(&mut self, t: SimTime, digests: Vec<(ObjId, u64)>) {
+        self.state_points.push(DigestPoint {
+            seq: self.execs.len() as u64,
+            t_ns: t.0,
+            digests,
+        });
+    }
+
+    /// Consume the recorder into a finished log.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn into_log(
+        self,
+        machine: String,
+        num_pes: usize,
+        seed: u64,
+        sched_overhead: SimTime,
+        collective_arity: u64,
+        flops_per_sec: f64,
+        end: SimTime,
+        final_digests: Vec<(ObjId, u64)>,
+    ) -> ReplayLog {
+        let final_state = DigestPoint {
+            seq: self.execs.len() as u64,
+            t_ns: end.0,
+            digests: final_digests,
+        };
+        ReplayLog {
+            app: String::new(),
+            machine,
+            num_pes: num_pes as u64,
+            seed,
+            sched_overhead_ns: sched_overhead.0,
+            collective_arity,
+            flops_per_sec,
+            entry_names: self.entry_names,
+            execs: self.execs,
+            roots: self.roots,
+            state_points: self.state_points,
+            final_state,
+            end_ns: end.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ix;
+
+    #[test]
+    fn log_roundtrips_through_pup() {
+        let mut log = ReplayLog {
+            app: "t".into(),
+            machine: "homog".into(),
+            num_pes: 4,
+            seed: 7,
+            sched_overhead_ns: 250,
+            collective_arity: 2,
+            flops_per_sec: 1e9,
+            entry_names: vec!["A::on_message".into()],
+            execs: vec![ExecRec {
+                seq: 0,
+                pe: 1,
+                start_ns: 10,
+                dur_ns: 20,
+                dst: ObjId {
+                    array: crate::ArrayId(0),
+                    ix: Ix::I1(3),
+                },
+                entry: 0,
+                msg_id: 1,
+                msg_src: None,
+                msg_digest: 0xdead,
+                msg_bytes: 48,
+                work: 1000.0,
+                n_remote: 1,
+                n_local: 0,
+                sends: vec![SendRec {
+                    msg_id: 2,
+                    bytes: 48,
+                    src_pe: 1,
+                    dst_pe: 2,
+                    tree_depth: 0,
+                    rtt_bytes: 40,
+                }],
+            }],
+            roots: vec![SendRec::default()],
+            state_points: vec![],
+            final_state: DigestPoint {
+                seq: 1,
+                t_ns: 30,
+                digests: vec![(
+                    ObjId {
+                        array: crate::ArrayId(0),
+                        ix: Ix::I1(3),
+                    },
+                    9,
+                )],
+            },
+            end_ns: 30,
+        };
+        let bytes = charm_pup::to_bytes(&mut log);
+        let back: ReplayLog = charm_pup::from_bytes_exact(&bytes).unwrap();
+        assert_eq!(back.execs.len(), 1);
+        assert_eq!(back.execs[0].sends, log.execs[0].sends);
+        assert_eq!(back.final_state, log.final_state);
+        assert_eq!(back.entry_names, log.entry_names);
+        assert_eq!(back.machine, "homog");
+    }
+
+    #[test]
+    fn sys_digests_distinguish_events() {
+        let a = sys_event_digest(&SysEvent::Reduction {
+            tag: 1,
+            value: RedValue::F64(1.0),
+        });
+        let b = sys_event_digest(&SysEvent::Reduction {
+            tag: 1,
+            value: RedValue::F64(2.0),
+        });
+        let c = sys_event_digest(&SysEvent::Inserted);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(
+            a,
+            sys_event_digest(&SysEvent::Reduction {
+                tag: 1,
+                value: RedValue::F64(1.0),
+            })
+        );
+    }
+}

@@ -10,11 +10,12 @@ use crate::ctx::{Action, Ctx};
 use crate::ft::{MemCheckpoint, PendingCkpt};
 use crate::lbframework::{LbRound, LbStats, LbTrigger, ObjStat, Strategy};
 use crate::power::DvfsScheme;
+use crate::replay::{sys_event_digest, PerturbConfig, Recorder, ReplayConfig, ReplayLog};
 use crate::trace::{EntryKind, TraceConfig, TraceEventKind, Tracer};
 use charm_machine::thermal::ThermalModel;
 use charm_machine::{EventQueue, MachineConfig, NetworkModel, SimTime};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -86,6 +87,10 @@ pub(crate) struct Envelope {
     pub bytes: usize,
     pub prio: i64,
     pub src_pe: usize,
+    /// Runtime-wide message id, assigned at creation. Always allocated
+    /// (recording on or off) so enabling the recorder cannot shift any
+    /// other deterministic state.
+    pub rec_id: u64,
 }
 
 pub(crate) struct Pending {
@@ -221,6 +226,8 @@ pub struct RuntimeBuilder {
     track_comm: bool,
     auto_ckpt: Option<SimTime>,
     trace: Option<TraceConfig>,
+    record: Option<ReplayConfig>,
+    perturb: Option<PerturbConfig>,
 }
 
 impl RuntimeBuilder {
@@ -299,6 +306,28 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Record a causal replay log (see [`crate::replay`]): one record per
+    /// executed entry with its consumed-message PUP digest and produced
+    /// sends, plus periodic chare-state digest points. Retrieve the log
+    /// with [`Runtime::take_replay_log`] after the run. Off by default —
+    /// when off, the per-message hooks reduce to a branch on `None`.
+    pub fn record(mut self, cfg: ReplayConfig) -> Self {
+        self.record = Some(cfg);
+        self
+    }
+
+    /// Perturb the delivery schedule with seeded, causally-valid extra
+    /// delays (see [`PerturbConfig`]). Combine with [`RuntimeBuilder::record`]
+    /// and diff the logs to hunt message races.
+    pub fn perturb(mut self, cfg: PerturbConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&cfg.prob),
+            "perturbation probability must be in [0, 1]"
+        );
+        self.perturb = Some(cfg);
+        self
+    }
+
     /// Take a double in-memory checkpoint automatically every `interval`
     /// of virtual time (§III-B). Ticks re-arm only while application work
     /// is outstanding, so the run still terminates when the job drains.
@@ -333,6 +362,11 @@ impl RuntimeBuilder {
             .map(|pe| StdRng::seed_from_u64(self.seed ^ (pe as u64).wrapping_mul(0x9E3779B97F4A7C15)))
             .collect();
         let tracer = self.trace.map(|cfg| Tracer::new(cfg, n));
+        let recorder = self.record.map(Recorder::new);
+        let perturb = self.perturb.map(|cfg| {
+            let rng = StdRng::seed_from_u64(cfg.seed ^ 0x0070_6572_7475_7262); // "perturb"
+            (cfg, rng)
+        });
         Runtime {
             machine: self.machine,
             net,
@@ -381,6 +415,9 @@ impl RuntimeBuilder {
             track_comm: self.track_comm,
             comm: HashMap::new(),
             tracer,
+            recorder,
+            perturb,
+            next_rec_id: 0,
             reconfig_overhead_shrink: SimTime::from_secs_f64(2.0),
             reconfig_overhead_expand: SimTime::from_secs_f64(6.5),
         }
@@ -458,6 +495,12 @@ pub struct Runtime {
     comm: HashMap<(ObjId, ObjId), u64>,
     /// Projections-lite tracing, when enabled ([`RuntimeBuilder::tracing`]).
     pub(crate) tracer: Option<Tracer>,
+    /// Replay recording, when enabled ([`RuntimeBuilder::record`]).
+    pub(crate) recorder: Option<Recorder>,
+    /// Schedule perturbation, when enabled ([`RuntimeBuilder::perturb`]).
+    perturb: Option<(PerturbConfig, StdRng)>,
+    /// Monotonic message-id counter (see [`Envelope::rec_id`]).
+    next_rec_id: u64,
     /// Modeled process tear-down/reconnect cost on shrink (paper: 2.7 s).
     pub reconfig_overhead_shrink: SimTime,
     /// Modeled process start-up/reconnect cost on expand (paper: 7.2 s).
@@ -481,6 +524,8 @@ impl Runtime {
             track_comm: false,
             auto_ckpt: None,
             trace: None,
+            record: None,
+            perturb: None,
         }
     }
 
@@ -568,6 +613,10 @@ impl Runtime {
     /// one network latency). This is how a `main` kicks off execution.
     pub fn send<C: Chare>(&mut self, proxy: ArrayProxy<C>, ix: crate::Ix, mut msg: C::Msg) {
         let bytes = charm_pup::packed_size(&mut msg) + ENVELOPE_BYTES;
+        let rec_id = self.fresh_rec_id();
+        if let Some(r) = &mut self.recorder {
+            r.note_origin(rec_id); // external origin: no current exec
+        }
         let env = Envelope {
             dst: ObjId {
                 array: proxy.id,
@@ -577,6 +626,7 @@ impl Runtime {
             bytes,
             prio: 0,
             src_pe: 0,
+            rec_id,
         };
         self.route_and_schedule(env, self.now);
     }
@@ -602,6 +652,41 @@ impl Runtime {
     /// Number of live PEs.
     pub fn num_pes(&self) -> usize {
         self.live_pes
+    }
+
+    /// PUP digest of every chare's state, sorted by `(array, ix)` — the
+    /// `StateDigest` walk record/replay compares run-to-run. Deterministic:
+    /// stores are visited in `ArrayId` order and elements in sorted index
+    /// order.
+    pub fn state_digest(&mut self) -> Vec<(ObjId, u64)> {
+        let mut out = Vec::new();
+        for s in self.stores.iter_mut() {
+            let id = s.id();
+            for ix in s.indices() {
+                if let Some(d) = s.digest_element(&ix) {
+                    out.push((ObjId { array: id, ix }, d));
+                }
+            }
+        }
+        out
+    }
+
+    /// Finish recording and take the replay log (once; `None` when
+    /// recording was never enabled). Appends the final state digest.
+    pub fn take_replay_log(&mut self) -> Option<ReplayLog> {
+        self.recorder.as_ref()?;
+        let final_digests = self.state_digest();
+        let rec = self.recorder.take()?;
+        Some(rec.into_log(
+            self.machine.name.clone(),
+            self.machine.num_pes,
+            self.seed,
+            self.sched_overhead,
+            self.collective_arity,
+            self.machine.flops_per_sec,
+            self.now,
+            final_digests,
+        ))
     }
 
     /// A recorded metric series (`ctx.log_metric`): (seconds, value) pairs.
@@ -844,9 +929,15 @@ impl Runtime {
         }
     }
 
+    /// Allocate a runtime-wide message id (always, so recording is inert).
+    pub(crate) fn fresh_rec_id(&mut self) -> u64 {
+        self.next_rec_id += 1;
+        self.next_rec_id
+    }
+
     /// Execute one envelope on `pe` at `self.now`. Returns false when the
     /// envelope was parked or forwarded instead of executed.
-    fn execute(&mut self, pe: usize, env: Envelope) -> bool {
+    fn execute(&mut self, pe: usize, mut env: Envelope) -> bool {
         let aid = env.dst.array;
         let ix = env.dst.ix;
         let store = &mut self.stores[aid.0 as usize];
@@ -881,6 +972,23 @@ impl Runtime {
             Payload::User(_) => EntryKind::Message,
             Payload::Sys(ev) => EntryKind::Event(ev.kind_name()),
         };
+        // Digest the consumed payload *before* execution moves it into the
+        // chare. Only pay the cost when recording.
+        let rec_consumed = if self.recorder.is_some() {
+            let (digest, entry_name) = match &mut env.payload {
+                Payload::User(boxed) => (
+                    store.user_msg_digest(boxed),
+                    format!("{}::on_message", store.name()),
+                ),
+                Payload::Sys(ev) => (
+                    sys_event_digest(ev),
+                    format!("{}::{}", store.name(), ev.kind_name()),
+                ),
+            };
+            Some((digest, entry_name))
+        } else {
+            None
+        };
         let mut ctx = Ctx {
             now: self.now,
             pe,
@@ -907,6 +1015,7 @@ impl Runtime {
         // injection overhead; a same-PE send is a queue push (~an order of
         // magnitude cheaper) — the asymmetry TRAM exploits (§III-F).
         let mut send_cost = SimTime::ZERO;
+        let (mut n_remote, mut n_local) = (0u32, 0u32);
         for a in &actions {
             match a {
                 Action::Send { dst, .. } => {
@@ -915,12 +1024,17 @@ impl Runtime {
                         .map(|p| p == pe)
                         .unwrap_or(false);
                     send_cost += if local {
+                        n_local += 1;
                         self.net.params().local_delivery
                     } else {
+                        n_remote += 1;
                         self.net.send_overhead()
                     };
                 }
-                Action::Broadcast { .. } => send_cost += self.net.send_overhead(),
+                Action::Broadcast { .. } => {
+                    n_remote += 1;
+                    send_cost += self.net.send_overhead();
+                }
                 _ => {}
             }
         }
@@ -941,7 +1055,34 @@ impl Runtime {
         }
         self.events.push(end, Ev::PeFree { pe });
 
+        if let (Some(r), Some((digest, entry_name))) = (&mut self.recorder, rec_consumed) {
+            r.begin_exec(
+                pe,
+                self.now,
+                duration,
+                env.dst,
+                &entry_name,
+                env.rec_id,
+                digest,
+                env.bytes,
+                work_units,
+                n_remote,
+                n_local,
+            );
+        }
         self.apply_actions(env.dst, pe, end, actions);
+        if let Some(r) = &mut self.recorder {
+            r.end_exec();
+            if let Some(n) = r.cfg.digest_every {
+                if r.execs_len() % n == 0 {
+                    let digests = self.state_digest();
+                    let now = self.now;
+                    if let Some(r) = &mut self.recorder {
+                        r.push_state_point(now, digests);
+                    }
+                }
+            }
+        }
         true
     }
 
@@ -976,12 +1117,17 @@ impl Runtime {
                     if self.track_comm {
                         *self.comm.entry((src, dst)).or_default() += bytes as u64;
                     }
+                    let rec_id = self.fresh_rec_id();
+                    if let Some(r) = &mut self.recorder {
+                        r.note_origin(rec_id);
+                    }
                     let env = Envelope {
                         dst,
                         payload: Payload::User(payload),
                         bytes,
                         prio,
                         src_pe,
+                        rec_id,
                     };
                     self.route_and_schedule(env, at + delay);
                 }
@@ -1097,8 +1243,27 @@ impl Runtime {
         if let Some(tr) = &mut self.tracer {
             tr.on_send(at, src, target_pe, dst, env.bytes);
         }
+        if let Some(r) = &mut self.recorder {
+            // A home-PE query round trip was charged iff `extra > 0`; its
+            // control messages are envelope-sized.
+            let rtt_bytes = if extra > SimTime::ZERO { ENVELOPE_BYTES } else { 0 };
+            r.on_routed(env.rec_id, env.bytes, src, target_pe, 0, rtt_bytes);
+        }
+        // Schedule perturbation: seeded extra delay on user messages only
+        // (delays are always causally valid — the network could have been
+        // this slow). System events keep their exact timing.
+        let jitter = match &mut self.perturb {
+            Some((cfg, rng)) if matches!(env.payload, Payload::User(_)) => {
+                if rng.gen_bool(cfg.prob) {
+                    SimTime(rng.gen_range(0..=cfg.max_extra.0))
+                } else {
+                    SimTime::ZERO
+                }
+            }
+            _ => SimTime::ZERO,
+        };
         self.events.push(
-            at + extra + delay,
+            at + extra + delay + jitter,
             Ev::Deliver {
                 pe: target_pe,
                 env,
@@ -1141,12 +1306,18 @@ impl Runtime {
             let Some(pe) = self.stores[array.0 as usize].element_pe(&ix) else {
                 continue;
             };
+            let rec_id = self.fresh_rec_id();
+            if let Some(r) = &mut self.recorder {
+                r.note_origin(rec_id);
+                r.on_routed(rec_id, bytes, src_pe, pe, depth, 0);
+            }
             let env = Envelope {
                 dst,
                 payload: Payload::User(make()),
                 bytes,
                 prio,
                 src_pe,
+                rec_id,
             };
             self.bytes_moved += bytes as u64;
             self.inflight += 1;
@@ -1196,18 +1367,32 @@ impl Runtime {
                 .net
                 .delay(0, 1.min(self.live_pes - 1), st.bytes + ENVELOPE_BYTES);
             let done = at + SimTime(hop.0 * depth);
-            self.deliver_callback(st.cb, SysEvent::Reduction { tag, value }, done);
+            self.deliver_callback_tree(st.cb, SysEvent::Reduction { tag, value }, done, depth);
         }
     }
 
     pub(crate) fn deliver_callback(&mut self, cb: Callback, ev: SysEvent, at: SimTime) {
+        self.deliver_callback_tree(cb, ev, at, 0);
+    }
+
+    /// Like [`Runtime::deliver_callback`], but tags the delivery with the
+    /// spanning-tree depth whose latency the caller folded into `at`, so a
+    /// recorded what-if replay can re-price the collective on a different
+    /// network.
+    pub(crate) fn deliver_callback_tree(
+        &mut self,
+        cb: Callback,
+        ev: SysEvent,
+        at: SimTime,
+        tree_depth: u64,
+    ) {
         match cb {
             Callback::ToChare { array, ix } => {
-                self.deliver_sys(ObjId { array, ix }, ev, at);
+                self.deliver_sys_tree(ObjId { array, ix }, ev, at, tree_depth);
             }
             Callback::BroadcastTo { array } => {
                 for ix in self.stores[array.0 as usize].indices() {
-                    self.deliver_sys(ObjId { array, ix }, ev.clone(), at);
+                    self.deliver_sys_tree(ObjId { array, ix }, ev.clone(), at, tree_depth);
                 }
             }
             Callback::Ignore => {}
@@ -1217,15 +1402,31 @@ impl Runtime {
     /// Deliver a system event to one chare at `at` (local-queue cost only;
     /// collective costs are charged by callers).
     pub(crate) fn deliver_sys(&mut self, dst: ObjId, ev: SysEvent, at: SimTime) {
+        self.deliver_sys_tree(dst, ev, at, 0);
+    }
+
+    pub(crate) fn deliver_sys_tree(
+        &mut self,
+        dst: ObjId,
+        ev: SysEvent,
+        at: SimTime,
+        tree_depth: u64,
+    ) {
         let Some(pe) = self.stores[dst.array.0 as usize].element_pe(&dst.ix) else {
             return;
         };
+        let rec_id = self.fresh_rec_id();
+        if let Some(r) = &mut self.recorder {
+            r.note_origin(rec_id);
+            r.on_routed(rec_id, ENVELOPE_BYTES, pe, pe, tree_depth, 0);
+        }
         let env = Envelope {
             dst,
             payload: Payload::Sys(ev),
             bytes: ENVELOPE_BYTES,
             prio: i64::MIN + 1, // system events run promptly
             src_pe: pe,
+            rec_id,
         };
         self.inflight += 1;
         self.events.push(
@@ -1284,7 +1485,7 @@ impl Runtime {
             let depth = self.tree_depth();
             let hop = self.net.delay(0, 1.min(self.live_pes - 1), ENVELOPE_BYTES);
             let done = self.now + SimTime(hop.0 * depth * 2);
-            self.deliver_callback(cb, SysEvent::QuiescenceDetected, done);
+            self.deliver_callback_tree(cb, SysEvent::QuiescenceDetected, done, depth * 2);
         }
     }
 

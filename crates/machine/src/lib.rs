@@ -21,6 +21,7 @@
 //! stochastic elements draw from seeded RNGs, so entire runs replay
 //! bit-identically.
 
+pub mod dagsim;
 mod disk;
 mod events;
 mod failure;
@@ -31,6 +32,7 @@ pub mod thermal;
 mod time;
 pub mod topology;
 
+pub use dagsim::{simulate_dag, DagEdge, DagNode, DagSimResult};
 pub use disk::{DiskFault, DiskModel};
 pub use events::EventQueue;
 pub use failure::FailurePlan;

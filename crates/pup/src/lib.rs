@@ -46,12 +46,20 @@ pub enum PupMode {
     Packing,
     /// Reading object state back out of a buffer.
     Unpacking,
+    /// Folding object state into a streaming 64-bit digest; no data is
+    /// stored. Behaves like packing from a `pup` body's point of view.
+    Digesting,
 }
+
+/// FNV-1a offset basis / prime for the digesting mode.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 enum Inner {
     Sizing { size: usize },
     Packing { buf: Vec<u8> },
     Unpacking { data: Vec<u8>, pos: usize },
+    Digesting { hash: u64 },
 }
 
 /// The serialization driver, equivalent to Charm++'s `PUP::er`.
@@ -92,12 +100,23 @@ impl Puper {
         Self::unpacker(data.to_vec())
     }
 
+    /// A digesting puper: after traversal, [`Puper::digest`] reports an
+    /// FNV-1a hash of exactly the bytes a packing pass would have written,
+    /// without allocating a buffer. Used for chare-state and message-payload
+    /// digests in record/replay.
+    pub fn digester() -> Self {
+        Puper {
+            inner: Inner::Digesting { hash: FNV_OFFSET },
+        }
+    }
+
     /// Which mode this puper is in.
     pub fn mode(&self) -> PupMode {
         match self.inner {
             Inner::Sizing { .. } => PupMode::Sizing,
             Inner::Packing { .. } => PupMode::Packing,
             Inner::Unpacking { .. } => PupMode::Unpacking,
+            Inner::Digesting { .. } => PupMode::Digesting,
         }
     }
 
@@ -118,12 +137,25 @@ impl Puper {
     }
 
     /// The byte count accumulated so far (sizing mode), written (packing
-    /// mode), or consumed (unpacking mode).
+    /// mode), or consumed (unpacking mode). Digesting mode does not count
+    /// bytes and reports 0.
     pub fn size(&self) -> usize {
         match &self.inner {
             Inner::Sizing { size } => *size,
             Inner::Packing { buf } => buf.len(),
             Inner::Unpacking { pos, .. } => *pos,
+            Inner::Digesting { .. } => 0,
+        }
+    }
+
+    /// The digest accumulated so far (digesting mode only).
+    ///
+    /// # Panics
+    /// Panics if the puper is not in digesting mode.
+    pub fn digest(&self) -> u64 {
+        match &self.inner {
+            Inner::Digesting { hash } => *hash,
+            _ => panic!("Puper::digest called on a non-digesting puper"),
         }
     }
 
@@ -157,6 +189,11 @@ impl Puper {
         match &mut self.inner {
             Inner::Sizing { size } => *size += bytes.len(),
             Inner::Packing { buf } => buf.extend_from_slice(bytes),
+            Inner::Digesting { hash } => {
+                for &b in bytes.iter() {
+                    *hash = (*hash ^ b as u64).wrapping_mul(FNV_PRIME);
+                }
+            }
             Inner::Unpacking { data, pos } => {
                 let end = *pos + bytes.len();
                 assert!(
@@ -263,6 +300,26 @@ pub fn from_bytes_exact<T: Pup + Default>(bytes: &[u8]) -> Result<T, String> {
 pub fn roundtrip<T: Pup + Default>(v: &mut T) -> T {
     let bytes = to_bytes(v);
     from_bytes(&bytes)
+}
+
+/// FNV-1a digest of `v`'s packed representation, computed without
+/// serializing. Equal packed bytes imply equal digests (same traversal,
+/// same fold), so `digest_of(a) == digest_of(b)` whenever
+/// `to_bytes(a) == to_bytes(b)`.
+pub fn digest_of<T: Pup + ?Sized>(v: &mut T) -> u64 {
+    let mut p = Puper::digester();
+    v.pup(&mut p);
+    p.digest()
+}
+
+/// FNV-1a over a raw byte slice — the same fold [`digest_of`] uses, exposed
+/// for hashing already-packed buffers (log integrity checksums).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash = (hash ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    hash
 }
 
 #[cfg(test)]
@@ -412,6 +469,34 @@ mod tests {
         };
         let r: Cached = roundtrip(&mut c);
         assert_eq!(r.sum, 6);
+    }
+
+    #[test]
+    fn digest_matches_packed_bytes() {
+        let mut n = Nested {
+            id: 42,
+            name: "chare".into(),
+            weights: vec![1.5, -2.5, 3.25],
+            flags: Some(vec![true, false]),
+            table: [(1, "a".to_string()), (9, "b".to_string())].into(),
+        };
+        assert_eq!(digest_of(&mut n), fnv1a(&to_bytes(&mut n)));
+    }
+
+    #[test]
+    fn digest_distinguishes_values() {
+        let mut a = 1u64;
+        let mut b = 2u64;
+        assert_ne!(digest_of(&mut a), digest_of(&mut b));
+        assert_eq!(digest_of(&mut a), digest_of(&mut 1u64.clone()));
+    }
+
+    #[test]
+    fn digester_reports_mode() {
+        let p = Puper::digester();
+        assert_eq!(p.mode(), PupMode::Digesting);
+        assert!(!p.is_packing() && !p.is_unpacking() && !p.is_sizing());
+        assert_eq!(p.size(), 0);
     }
 
     #[test]

@@ -91,4 +91,22 @@ proptest! {
         let back: Vec<i32> = from_bytes(&bytes);
         prop_assert_eq!(back, v);
     }
+
+    // The streaming digest mode (record/replay's StateDigest) must agree
+    // with hashing the packed byte stream, for the same arbitrary nested
+    // data the round-trip properties use.
+    #[test]
+    fn digest_matches_packed_fnv1a(mut r in record_strategy(2)) {
+        let bytes = to_bytes(&mut r);
+        prop_assert_eq!(charm_pup::digest_of(&mut r), charm_pup::fnv1a(&bytes));
+    }
+
+    // pup → unpup → digest is the exact replay-verification path: a round
+    // trip must never change a state digest.
+    #[test]
+    fn digest_survives_roundtrip(mut r in record_strategy(2)) {
+        let d = charm_pup::digest_of(&mut r);
+        let mut back = roundtrip(&mut r);
+        prop_assert_eq!(charm_pup::digest_of(&mut back), d);
+    }
 }

@@ -1,0 +1,140 @@
+//! Versioned on-disk format for [`ReplayLog`]s.
+//!
+//! Layout: 8-byte magic `CHMRLOG1` · u32 version · u64 body length ·
+//! PUP-packed body · u64 FNV-1a checksum of the body. Everything
+//! little-endian (the PUP wire format). The checksum catches truncation
+//! and corruption before a malformed stream can panic the unpacker.
+
+use crate::ReplayLog;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"CHMRLOG1";
+const VERSION: u32 = 1;
+
+/// Why a log failed to load.
+#[derive(Debug)]
+pub enum LogError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Not a replay log (bad magic).
+    BadMagic,
+    /// A version this build does not understand.
+    BadVersion(u32),
+    /// Truncated or corrupted body.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for LogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogError::Io(e) => write!(f, "replay log I/O error: {e}"),
+            LogError::BadMagic => write!(f, "not a replay log (bad magic)"),
+            LogError::BadVersion(v) => write!(f, "unsupported replay log version {v}"),
+            LogError::Corrupt(why) => write!(f, "corrupt replay log: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+impl From<std::io::Error> for LogError {
+    fn from(e: std::io::Error) -> Self {
+        LogError::Io(e)
+    }
+}
+
+/// Serialize `log` to `path` (atomic: write to `.tmp`, then rename).
+pub fn save(log: &ReplayLog, path: &Path) -> std::io::Result<()> {
+    let body = charm_pup::to_bytes(&mut log.clone());
+    let sum = charm_pup::fnv1a(&body);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(MAGIC)?;
+        f.write_all(&VERSION.to_le_bytes())?;
+        f.write_all(&(body.len() as u64).to_le_bytes())?;
+        f.write_all(&body)?;
+        f.write_all(&sum.to_le_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Load a log written by [`save`], validating magic, version, and checksum.
+pub fn load(path: &Path) -> Result<ReplayLog, LogError> {
+    let mut f = std::fs::File::open(path)?;
+    let mut data = Vec::new();
+    f.read_to_end(&mut data)?;
+    if data.len() < 8 + 4 + 8 + 8 {
+        return Err(LogError::Corrupt("file shorter than header".into()));
+    }
+    if &data[..8] != MAGIC {
+        return Err(LogError::BadMagic);
+    }
+    let version = u32::from_le_bytes(data[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(LogError::BadVersion(version));
+    }
+    let body_len = u64::from_le_bytes(data[12..20].try_into().unwrap()) as usize;
+    let expect = 20 + body_len + 8;
+    if data.len() != expect {
+        return Err(LogError::Corrupt(format!(
+            "expected {expect} bytes, found {}",
+            data.len()
+        )));
+    }
+    let body = &data[20..20 + body_len];
+    let sum = u64::from_le_bytes(data[20 + body_len..].try_into().unwrap());
+    if charm_pup::fnv1a(body) != sum {
+        return Err(LogError::Corrupt("checksum mismatch".into()));
+    }
+    charm_pup::from_bytes_exact::<ReplayLog>(body)
+        .map_err(|e| LogError::Corrupt(format!("body does not unpack: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ReplayLog {
+        ReplayLog {
+            app: "sample".into(),
+            machine: "homogeneous".into(),
+            num_pes: 2,
+            seed: 9,
+            sched_overhead_ns: 250,
+            collective_arity: 2,
+            flops_per_sec: 1e9,
+            entry_names: vec!["X::on_message".into()],
+            end_ns: 123,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_integrity() {
+        let dir = std::env::temp_dir().join("charm_replay_logfile_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.rlog");
+        save(&sample(), &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.app, "sample");
+        assert_eq!(back.entry_names, vec!["X::on_message".to_string()]);
+
+        // Flip one body byte: checksum must catch it.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = 20 + (bytes.len() - 28) / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load(&path), Err(LogError::Corrupt(_))));
+
+        // Truncation is caught too.
+        bytes.truncate(bytes.len() - 3);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load(&path), Err(LogError::Corrupt(_))));
+
+        std::fs::write(&path, b"NOTALOG!xxxxxxxxxxxxxxxxxxxxxxx").unwrap();
+        assert!(matches!(load(&path), Err(LogError::BadMagic)));
+    }
+}

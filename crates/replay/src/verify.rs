@@ -1,0 +1,149 @@
+//! Digest-for-digest comparison of two replay logs (typically a recording
+//! and a same-seed re-run).
+
+use crate::ReplayLog;
+
+/// The first point where two logs disagree.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Execution index (or digest-point seq) of the disagreement.
+    pub seq: u64,
+    /// What disagreed (e.g. `"exec.msg_digest"`, `"state_point"`).
+    pub what: String,
+    /// Rendering of the recorded side.
+    pub recorded: String,
+    /// Rendering of the replayed side.
+    pub replayed: String,
+}
+
+/// Outcome of [`verify`].
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Entries in the recorded log.
+    pub execs_recorded: usize,
+    /// Entries in the replayed log.
+    pub execs_replayed: usize,
+    /// Matching periodic state-digest points.
+    pub state_points_ok: usize,
+    /// Did the final chare-state digests match exactly?
+    pub final_state_ok: bool,
+    /// First disagreement, if any.
+    pub first_divergence: Option<Divergence>,
+}
+
+impl VerifyReport {
+    /// True when the two logs are digest-for-digest identical.
+    pub fn ok(&self) -> bool {
+        self.first_divergence.is_none() && self.final_state_ok
+    }
+}
+
+impl std::fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.ok() {
+            write!(
+                f,
+                "replay verified: {} entries, {} state point(s), final state identical",
+                self.execs_recorded, self.state_points_ok
+            )
+        } else if let Some(d) = &self.first_divergence {
+            write!(
+                f,
+                "replay DIVERGED at seq {} ({}): recorded {} vs replayed {}",
+                d.seq, d.what, d.recorded, d.replayed
+            )
+        } else {
+            write!(f, "replay DIVERGED: final state digests differ")
+        }
+    }
+}
+
+fn entry_name(log: &ReplayLog, ix: u32) -> &str {
+    log.entry_names
+        .get(ix as usize)
+        .map(|s| s.as_str())
+        .unwrap_or("?")
+}
+
+/// Compare `recorded` against `replayed`: the executed-entry stream
+/// (chare, entry, PE, consumed digest, virtual start/duration), every
+/// periodic state-digest point, and the final state digest. Reports the
+/// *first* divergence — everything after it is downstream noise.
+pub fn verify(recorded: &ReplayLog, replayed: &ReplayLog) -> VerifyReport {
+    let mut report = VerifyReport {
+        execs_recorded: recorded.execs.len(),
+        execs_replayed: replayed.execs.len(),
+        state_points_ok: 0,
+        final_state_ok: recorded.final_state.digests == replayed.final_state.digests,
+        first_divergence: None,
+    };
+
+    for (a, b) in recorded.execs.iter().zip(&replayed.execs) {
+        let mismatch = |what: &str, x: String, y: String| Divergence {
+            seq: a.seq,
+            what: what.to_string(),
+            recorded: x,
+            replayed: y,
+        };
+        let d = if a.dst != b.dst {
+            Some(mismatch("exec.dst", format!("{:?}", a.dst), format!("{:?}", b.dst)))
+        } else if entry_name(recorded, a.entry) != entry_name(replayed, b.entry) {
+            Some(mismatch(
+                "exec.entry",
+                entry_name(recorded, a.entry).into(),
+                entry_name(replayed, b.entry).into(),
+            ))
+        } else if a.pe != b.pe {
+            Some(mismatch("exec.pe", a.pe.to_string(), b.pe.to_string()))
+        } else if a.msg_digest != b.msg_digest {
+            Some(mismatch(
+                "exec.msg_digest",
+                format!("{:#x}", a.msg_digest),
+                format!("{:#x}", b.msg_digest),
+            ))
+        } else if a.start_ns != b.start_ns || a.dur_ns != b.dur_ns {
+            Some(mismatch(
+                "exec.timing",
+                format!("{}+{}ns", a.start_ns, a.dur_ns),
+                format!("{}+{}ns", b.start_ns, b.dur_ns),
+            ))
+        } else {
+            None
+        };
+        if let Some(d) = d {
+            report.first_divergence = Some(d);
+            return report;
+        }
+    }
+    if recorded.execs.len() != replayed.execs.len() {
+        report.first_divergence = Some(Divergence {
+            seq: recorded.execs.len().min(replayed.execs.len()) as u64,
+            what: "exec.count".into(),
+            recorded: recorded.execs.len().to_string(),
+            replayed: replayed.execs.len().to_string(),
+        });
+        return report;
+    }
+
+    for (a, b) in recorded.state_points.iter().zip(&replayed.state_points) {
+        if a != b {
+            report.first_divergence = Some(Divergence {
+                seq: a.seq,
+                what: "state_point".into(),
+                recorded: format!("{} digests at t={}ns", a.digests.len(), a.t_ns),
+                replayed: format!("{} digests at t={}ns", b.digests.len(), b.t_ns),
+            });
+            return report;
+        }
+        report.state_points_ok += 1;
+    }
+    if recorded.state_points.len() != replayed.state_points.len() {
+        report.first_divergence = Some(Divergence {
+            seq: 0,
+            what: "state_point.count".into(),
+            recorded: recorded.state_points.len().to_string(),
+            replayed: replayed.state_points.len().to_string(),
+        });
+    }
+    report
+}

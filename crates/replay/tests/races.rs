@@ -1,0 +1,65 @@
+//! Race-hunting acceptance: the seeded order-sensitivity bug must be caught
+//! with a minimized two-message witness, and the commutative control must
+//! not be flagged.
+
+use charm_replay::demo::{run_commute, run_racy};
+use charm_replay::{diff_runs, hunt, verify};
+
+#[test]
+fn same_seed_rerun_verifies_exactly() {
+    let a = run_racy(7, None);
+    let b = run_racy(7, None);
+    let rep = verify(&a, &b);
+    assert!(rep.ok(), "{rep}");
+    assert_eq!(rep.execs_recorded, rep.execs_replayed);
+    assert!(rep.execs_recorded > 0);
+}
+
+#[test]
+fn hunt_catches_racy_chare_with_two_message_witness() {
+    let baseline = run_racy(7, None);
+    let outcome = hunt(&baseline, 16, 100, |p| run_racy(7, Some(p)));
+    assert!(
+        outcome.report.flagged(),
+        "no perturbation flagged in {} runs",
+        outcome.runs
+    );
+    let w = outcome
+        .report
+        .witness
+        .as_ref()
+        .expect("flagged report carries a witness");
+    // The witness is a genuine order swap: two *different* operations whose
+    // delivery order differs between baseline and perturbed run.
+    assert_ne!(w.first, w.second, "witness messages must differ");
+    assert!(
+        w.first.entry.contains("on_message"),
+        "witness should name the entry method, got {}",
+        w.first.entry
+    );
+    println!(
+        "flagged with seed {:?} after {} runs: {}",
+        outcome.flagging_seed, outcome.runs, w
+    );
+}
+
+#[test]
+fn commutative_control_is_not_flagged() {
+    let baseline = run_commute(7, None);
+    let outcome = hunt(&baseline, 16, 100, |p| run_commute(7, Some(p)));
+    assert!(
+        !outcome.report.flagged(),
+        "commutative chare must not be order-sensitive: {:?}",
+        outcome.report.order_sensitive
+    );
+    assert_eq!(outcome.runs, 16);
+}
+
+#[test]
+fn diff_runs_is_clean_on_identical_logs() {
+    let a = run_racy(7, None);
+    let b = run_racy(7, None);
+    let rep = diff_runs(&a, &b);
+    assert!(!rep.flagged());
+    assert!(rep.witness.is_none());
+}

@@ -1,0 +1,68 @@
+//! What-if acceptance: replaying a LeanMD log recorded on one machine
+//! predicts the makespan of an actual run on a *different* machine within
+//! 10% (BigSim-lite, paper §V-B).
+
+use charm_apps::leanmd;
+use charm_core::ReplayConfig;
+use charm_machine::{presets, MachineConfig};
+use charm_replay::{whatif, ReplayLog};
+
+fn record_on(machine: MachineConfig) -> ReplayLog {
+    let (_run, mut rt) = leanmd::run_with_runtime(leanmd::LeanMdConfig {
+        machine,
+        steps: 6,
+        record: Some(ReplayConfig::default()),
+        ..Default::default()
+    });
+    let mut log = rt.take_replay_log().expect("recording was on");
+    log.app = "leanmd".into();
+    log
+}
+
+#[test]
+fn whatif_on_recording_machine_matches_recorded_makespan() {
+    let log = record_on(presets::bgq(32));
+    let rep = whatif(&log, &presets::bgq(32));
+    let err = rep.error_vs(rep.recorded_makespan_s);
+    assert!(
+        err < 0.10,
+        "self-prediction off by {:.1}%: predicted {:.6}s recorded {:.6}s",
+        err * 100.0,
+        rep.predicted_makespan_s,
+        rep.recorded_makespan_s
+    );
+    assert_eq!(rep.nodes, log.execs.len());
+}
+
+#[test]
+fn whatif_predicts_cloud_run_from_bgq_recording() {
+    let log = record_on(presets::bgq(32));
+    let rep = whatif(&log, &presets::cloud(32));
+
+    // Ground truth: actually run the same program on the cloud preset.
+    let actual = record_on(presets::cloud(32));
+    let actual_s = actual.recorded_makespan_s();
+    let err = rep.error_vs(actual_s);
+    assert!(
+        err < 0.10,
+        "cross-machine prediction off by {:.1}%: predicted {:.6}s actual {:.6}s",
+        err * 100.0,
+        rep.predicted_makespan_s,
+        actual_s
+    );
+    // The two machines genuinely differ: prediction should, too.
+    assert!(
+        (rep.predicted_makespan_s - rep.recorded_makespan_s).abs()
+            > 0.01 * rep.recorded_makespan_s,
+        "what-if made no difference between bgq and cloud"
+    );
+}
+
+trait RecordedMakespan {
+    fn recorded_makespan_s(&self) -> f64;
+}
+impl RecordedMakespan for ReplayLog {
+    fn recorded_makespan_s(&self) -> f64 {
+        charm_machine::SimTime(self.end_ns).as_secs_f64()
+    }
+}

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Single-entry CI gate: release build, full test suite, clippy (warnings
+# are errors, all crates), and the two end-to-end smokes (tracing and
+# record/replay). Exits non-zero on the first failure.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release -q
+
+echo "==> cargo test"
+cargo test -q
+
+echo "==> lint (clippy -D warnings, all crates)"
+sh scripts/lint.sh
+
+echo "==> trace smoke"
+sh scripts/trace_smoke.sh
+
+echo "==> replay smoke"
+sh scripts/replay_smoke.sh
+
+echo "CI OK"

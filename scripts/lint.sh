@@ -1,9 +1,9 @@
 #!/bin/sh
-# Lint gate for the runtime-critical crates: warnings are errors.
-# (Scoped to the crates brought up to clippy-clean; widen as the rest
-# follow.)
+# Lint gate for every workspace crate: warnings are errors.
 set -eu
 cd "$(dirname "$0")/.."
-cargo clippy -q -p charm-core -p charm-machine -p charm-apps -p charm-bench \
+cargo clippy -q -p charm-pup -p charm-machine -p charm-core -p charm-lb \
+    -p charm-tram -p charm-sort -p charm-ampi -p charm-threaded \
+    -p charm-apps -p charm-replay -p charm-bench \
     --all-targets -- -D warnings
-echo "clippy clean: charm-core, charm-machine, charm-apps, charm-bench"
+echo "clippy clean: all workspace crates"
