@@ -4,8 +4,8 @@
 use crate::chare::{Chare, SysEvent};
 use crate::index::Ix;
 use crate::Ctx;
+use fxhash::FxHashMap;
 use std::any::Any;
-use std::collections::HashMap;
 
 /// Identifier of a chare array within a runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
@@ -130,7 +130,10 @@ pub(crate) trait AnyArray {
     #[allow(dead_code)] // part of the store interface; used by tests/tools
     fn contains(&self, ix: &Ix) -> bool;
     fn element_pe(&self, ix: &Ix) -> Option<usize>;
+    #[allow(dead_code)] // part of the store interface; used by tests/tools
     fn element_epoch(&self, ix: &Ix) -> Option<u32>;
+    /// `(pe, epoch)` in one lookup — the routing hot path's accessor.
+    fn locate(&self, ix: &Ix) -> Option<(usize, u32)>;
     #[allow(dead_code)] // part of the store interface; used by tests/tools
     fn set_element_pe(&mut self, ix: &Ix, pe: usize);
     fn indices(&self) -> Vec<Ix>;
@@ -167,31 +170,174 @@ pub(crate) trait AnyArray {
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
+/// Which `Ix` variant owns an array's dense window (see [`dense_slot`]).
+const DENSE_NONE: u8 = 0;
+const DENSE_I1: u8 = 1;
+const DENSE_I2: u8 = 2;
+
+/// Dense-slot ceiling for 1-D indices: `Ix::I1(i)` with `0 <= i < 65536`.
+const DENSE_1D_MAX: i64 = 1 << 16;
+/// Per-axis bound of the row-major dense 2-D window (`256 × 256`).
+const DENSE_2D_SIDE: i32 = 1 << 8;
+
+/// Dense kind an index is eligible for (`DENSE_NONE` if it must hash).
+#[inline]
+fn dense_kind_of(ix: &Ix) -> u8 {
+    match *ix {
+        Ix::I1(i) if (0..DENSE_1D_MAX).contains(&i) => DENSE_I1,
+        Ix::I2([a, b])
+            if (0..DENSE_2D_SIDE).contains(&a) && (0..DENSE_2D_SIDE).contains(&b) =>
+        {
+            DENSE_I2
+        }
+        _ => DENSE_NONE,
+    }
+}
+
+/// Flat slot of `ix` under dense kind `kind`, if it belongs there.
+#[inline]
+fn dense_slot(kind: u8, ix: &Ix) -> Option<usize> {
+    match (kind, *ix) {
+        (DENSE_I1, Ix::I1(i)) if (0..DENSE_1D_MAX).contains(&i) => Some(i as usize),
+        (DENSE_I2, Ix::I2([a, b]))
+            if (0..DENSE_2D_SIDE).contains(&a) && (0..DENSE_2D_SIDE).contains(&b) =>
+        {
+            Some(((a as usize) << 8) | b as usize)
+        }
+        _ => None,
+    }
+}
+
+/// Inverse of [`dense_slot`]: reconstruct the index a slot encodes.
+#[inline]
+fn slot_ix(kind: u8, slot: usize) -> Ix {
+    match kind {
+        DENSE_I1 => Ix::I1(slot as i64),
+        DENSE_I2 => Ix::I2([(slot >> 8) as i32, (slot & 0xff) as i32]),
+        k => unreachable!("slot_ix on dense kind {k}"),
+    }
+}
+
 /// Typed storage for all elements of one chare array.
+///
+/// Layout is a two-tier hybrid tuned for the scheduler hot path, which
+/// looks an element up by index several times per delivered message:
+///
+/// * **dense tier** — small nonnegative 1-D indices (`0..65536`) or 2-D
+///   indices inside a `256×256` window live in a flat `Vec` indexed
+///   directly by the (row-major) index value: one bounds check and one
+///   pointer chase, no hashing. The first dense-eligible insert fixes
+///   which variant owns the window. Boxed slots keep empty entries at one
+///   pointer each, so sparse populations don't bloat.
+/// * **spill tier** — everything else (negative/huge 1-D, 3-D/4-D/6-D,
+///   bit-vector, named) hashes into an [`FxHashMap`] — deterministic,
+///   seed-free, and ~an order of magnitude cheaper than the std SipHash
+///   map on these small fixed-shape keys.
+///
+/// Iteration-order caveats are unchanged from the old single-map layout:
+/// every enumeration below sorts (or is wrapped by a caller that sorts),
+/// so replacing the map cannot perturb observable behavior — the replay
+/// golden-log regression tests pin this.
 pub(crate) struct ArrayStore<C: Chare> {
     id: ArrayId,
     name: String,
-    elements: HashMap<Ix, Element<C>>,
+    /// Dense tier, indexed by [`dense_slot`]; grown on demand.
+    dense: Vec<Option<Box<Element<C>>>>,
+    /// Which `Ix` variant owns the dense tier (`DENSE_NONE` until the
+    /// first dense-eligible insert).
+    dense_kind: u8,
+    /// Live elements in the dense tier.
+    dense_len: usize,
+    /// Spill tier for indices outside the dense window.
+    spill: FxHashMap<Ix, Element<C>>,
     at_sync: bool,
 }
 
 impl<C: Chare> ArrayStore<C> {
     /// Host-side read access to one element's chare state.
     pub(crate) fn peek(&self, ix: &Ix) -> Option<&C> {
-        self.elements.get(ix).map(|e| &e.chare)
+        self.get(ix).map(|e| &e.chare)
     }
 
     pub(crate) fn new(id: ArrayId, name: &str) -> Self {
         ArrayStore {
             id,
             name: name.to_string(),
-            elements: HashMap::new(),
+            dense: Vec::new(),
+            dense_kind: DENSE_NONE,
+            dense_len: 0,
+            spill: FxHashMap::default(),
             at_sync: false,
         }
     }
 
+    #[inline]
+    fn get(&self, ix: &Ix) -> Option<&Element<C>> {
+        if let Some(slot) = dense_slot(self.dense_kind, ix) {
+            return self.dense.get(slot).and_then(|o| o.as_deref());
+        }
+        self.spill.get(ix)
+    }
+
+    #[inline]
+    fn get_mut(&mut self, ix: &Ix) -> Option<&mut Element<C>> {
+        if let Some(slot) = dense_slot(self.dense_kind, ix) {
+            return self.dense.get_mut(slot).and_then(|o| o.as_deref_mut());
+        }
+        self.spill.get_mut(ix)
+    }
+
+    /// Insert, returning the displaced element (if any).
+    fn put(&mut self, ix: Ix, e: Element<C>) -> Option<Element<C>> {
+        if self.dense_kind == DENSE_NONE {
+            self.dense_kind = dense_kind_of(&ix);
+        }
+        if let Some(slot) = dense_slot(self.dense_kind, &ix) {
+            if slot >= self.dense.len() {
+                self.dense.resize_with(slot + 1, || None);
+            }
+            let prev = self.dense[slot].replace(Box::new(e)).map(|b| *b);
+            if prev.is_none() {
+                self.dense_len += 1;
+            }
+            return prev;
+        }
+        self.spill.insert(ix, e)
+    }
+
+    fn take(&mut self, ix: &Ix) -> Option<Element<C>> {
+        if let Some(slot) = dense_slot(self.dense_kind, ix) {
+            let prev = self.dense.get_mut(slot).and_then(|o| o.take()).map(|b| *b);
+            if prev.is_some() {
+                self.dense_len -= 1;
+            }
+            return prev;
+        }
+        self.spill.remove(ix)
+    }
+
+    /// Iterate every `(index, element)` pair, dense tier first. Arbitrary
+    /// order within each tier — callers that expose order must sort.
+    fn iter(&self) -> impl Iterator<Item = (Ix, &Element<C>)> {
+        let kind = self.dense_kind;
+        self.dense
+            .iter()
+            .enumerate()
+            .filter_map(move |(slot, o)| o.as_deref().map(|e| (slot_ix(kind, slot), e)))
+            .chain(self.spill.iter().map(|(ix, e)| (*ix, e)))
+    }
+
+    fn iter_mut(&mut self) -> impl Iterator<Item = (Ix, &mut Element<C>)> {
+        let kind = self.dense_kind;
+        self.dense
+            .iter_mut()
+            .enumerate()
+            .filter_map(move |(slot, o)| o.as_deref_mut().map(|e| (slot_ix(kind, slot), e)))
+            .chain(self.spill.iter_mut().map(|(ix, e)| (*ix, e)))
+    }
+
     pub(crate) fn insert(&mut self, ix: Ix, pe: usize, chare: C) {
-        let prev = self.elements.insert(
+        let prev = self.put(
             ix,
             Element {
                 chare,
@@ -214,24 +360,27 @@ impl<C: Chare> AnyArray for ArrayStore<C> {
     }
 
     fn len(&self) -> usize {
-        self.elements.len()
+        self.dense_len + self.spill.len()
     }
 
     fn contains(&self, ix: &Ix) -> bool {
-        self.elements.contains_key(ix)
+        self.get(ix).is_some()
     }
 
     fn element_pe(&self, ix: &Ix) -> Option<usize> {
-        self.elements.get(ix).map(|e| e.pe)
+        self.get(ix).map(|e| e.pe)
     }
 
     fn element_epoch(&self, ix: &Ix) -> Option<u32> {
-        self.elements.get(ix).map(|e| e.epoch)
+        self.get(ix).map(|e| e.epoch)
+    }
+
+    fn locate(&self, ix: &Ix) -> Option<(usize, u32)> {
+        self.get(ix).map(|e| (e.pe, e.epoch))
     }
 
     fn set_element_pe(&mut self, ix: &Ix, pe: usize) {
         let e = self
-            .elements
             .get_mut(ix)
             .unwrap_or_else(|| panic!("set_element_pe: no element {ix}"));
         if e.pe != pe {
@@ -241,33 +390,41 @@ impl<C: Chare> AnyArray for ArrayStore<C> {
     }
 
     fn indices(&self) -> Vec<Ix> {
-        let mut v: Vec<Ix> = self.elements.keys().copied().collect();
-        // Deterministic order regardless of hash-map iteration.
+        let mut v: Vec<Ix> = self.iter().map(|(ix, _)| ix).collect();
+        // Deterministic order regardless of storage-tier iteration.
         v.sort_unstable();
         v
     }
 
     fn indices_on_pe(&self, pe: usize) -> Vec<Ix> {
         let mut v: Vec<Ix> = self
-            .elements
             .iter()
             .filter(|(_, e)| e.pe == pe)
-            .map(|(ix, _)| *ix)
+            .map(|(ix, _)| ix)
             .collect();
         v.sort_unstable();
         v
     }
 
     fn execute(&mut self, ix: &Ix, payload: Payload, ctx: &mut Ctx<'_>) -> bool {
-        let Some(e) = self.elements.get_mut(ix) else {
-            return false;
+        // Split borrows: name is needed inside the panic message while the
+        // element is mutably borrowed from the same struct.
+        let (name, e) = if let Some(slot) = dense_slot(self.dense_kind, ix) {
+            match self.dense.get_mut(slot).and_then(|o| o.as_deref_mut()) {
+                Some(e) => (&self.name, e),
+                None => return false,
+            }
+        } else {
+            match self.spill.get_mut(ix) {
+                Some(e) => (&self.name, e),
+                None => return false,
+            }
         };
         match payload {
             Payload::User(boxed) => {
                 let msg = *boxed.downcast::<C::Msg>().unwrap_or_else(|_| {
                     panic!(
-                        "array '{}' element {ix}: message type mismatch (expected {})",
-                        self.name,
+                        "array '{name}' element {ix}: message type mismatch (expected {})",
                         std::any::type_name::<C::Msg>()
                     )
                 });
@@ -285,25 +442,17 @@ impl<C: Chare> AnyArray for ArrayStore<C> {
     }
 
     fn digest_element(&mut self, ix: &Ix) -> Option<u64> {
-        self.elements
-            .get_mut(ix)
-            .map(|e| charm_pup::digest_of(&mut e.chare))
+        self.get_mut(ix).map(|e| charm_pup::digest_of(&mut e.chare))
     }
 
     fn pack_element(&mut self, ix: &Ix) -> Option<Vec<u8>> {
-        self.elements
-            .get_mut(ix)
-            .map(|e| charm_pup::to_bytes(&mut e.chare))
+        self.get_mut(ix).map(|e| charm_pup::to_bytes(&mut e.chare))
     }
 
     fn unpack_insert(&mut self, ix: Ix, pe: usize, bytes: &[u8]) {
         let chare: C = charm_pup::from_bytes(bytes);
-        let epoch = self
-            .elements
-            .get(&ix)
-            .map(|e| e.epoch + 1)
-            .unwrap_or_default();
-        self.elements.insert(
+        let epoch = self.get(&ix).map(|e| e.epoch + 1).unwrap_or_default();
+        self.put(
             ix,
             Element {
                 chare,
@@ -315,7 +464,7 @@ impl<C: Chare> AnyArray for ArrayStore<C> {
     }
 
     fn remove_element(&mut self, ix: &Ix) -> bool {
-        self.elements.remove(ix).is_some()
+        self.take(ix).is_some()
     }
 
     fn insert_boxed(&mut self, ix: Ix, pe: usize, chare: Box<dyn Any>) {
@@ -330,19 +479,18 @@ impl<C: Chare> AnyArray for ArrayStore<C> {
     }
 
     fn add_load(&mut self, ix: &Ix, load: f64) {
-        if let Some(e) = self.elements.get_mut(ix) {
+        if let Some(e) = self.get_mut(ix) {
             e.load += load;
         }
     }
 
     fn drain_loads(&mut self) -> Vec<(Ix, usize, f64, f64)> {
         let mut v: Vec<(Ix, usize, f64, f64)> = self
-            .elements
             .iter_mut()
             .map(|(ix, e)| {
                 let l = e.load;
                 e.load = 0.0;
-                (*ix, e.pe, l, e.chare.load_hint())
+                (ix, e.pe, l, e.chare.load_hint())
             })
             .collect();
         v.sort_unstable_by_key(|a| a.0);
@@ -358,7 +506,13 @@ impl<C: Chare> AnyArray for ArrayStore<C> {
     }
 
     fn clear(&mut self) {
-        self.elements.clear();
+        // Keep the dense window's kind and capacity: a rollback repopulates
+        // the same index space, so the allocation is reused.
+        for slot in &mut self.dense {
+            *slot = None;
+        }
+        self.dense_len = 0;
+        self.spill.clear();
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -450,5 +604,70 @@ mod tests {
         let mut s = ArrayStore::<Dummy>::new(ArrayId(0), "dummy");
         s.insert(Ix::i1(0), 0, Dummy::default());
         s.insert(Ix::i1(0), 0, Dummy::default());
+    }
+
+    #[test]
+    fn dense_and_spill_tiers_coexist() {
+        let mut s = ArrayStore::<Dummy>::new(ArrayId(0), "dummy");
+        // First insert claims the dense window for I1…
+        s.insert(Ix::i1(7), 0, Dummy { v: 7 });
+        // …negative and huge 1-D indices spill, as do other variants.
+        s.insert(Ix::i1(-4), 1, Dummy { v: -4 });
+        s.insert(Ix::i1(DENSE_1D_MAX + 9), 2, Dummy { v: 99 });
+        s.insert(Ix::i2(0, 3), 0, Dummy { v: 3 });
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.peek(&Ix::i1(7)).unwrap().v, 7);
+        assert_eq!(s.peek(&Ix::i1(-4)).unwrap().v, -4);
+        assert_eq!(s.peek(&Ix::i1(DENSE_1D_MAX + 9)).unwrap().v, 99);
+        assert_eq!(s.peek(&Ix::i2(0, 3)).unwrap().v, 3);
+        // indices() is sorted across both tiers.
+        let all = s.indices();
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(all.len(), 4);
+        // Removal from both tiers keeps len() honest.
+        assert!(s.remove_element(&Ix::i1(7)));
+        assert!(s.remove_element(&Ix::i1(-4)));
+        assert_eq!(s.len(), 2);
+        assert!(!s.contains(&Ix::i1(7)));
+    }
+
+    #[test]
+    fn dense_2d_window_no_slot_collisions() {
+        let mut s = ArrayStore::<Dummy>::new(ArrayId(0), "dummy");
+        // 2-D first insert claims the 256×256 window; I1 then spills, so
+        // I2([0, 5]) and I1(5) never share storage.
+        s.insert(Ix::i2(0, 5), 0, Dummy { v: 25 });
+        s.insert(Ix::i1(5), 1, Dummy { v: 15 });
+        assert_eq!(s.peek(&Ix::i2(0, 5)).unwrap().v, 25);
+        assert_eq!(s.peek(&Ix::i1(5)).unwrap().v, 15);
+        assert_eq!(s.element_pe(&Ix::i2(0, 5)), Some(0));
+        assert_eq!(s.element_pe(&Ix::i1(5)), Some(1));
+        // Outside the window spills too.
+        s.insert(Ix::i2(300, 1), 2, Dummy { v: 301 });
+        assert_eq!(s.locate(&Ix::i2(300, 1)), Some((2, 0)));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn locate_matches_pe_and_epoch() {
+        let mut s = ArrayStore::<Dummy>::new(ArrayId(0), "dummy");
+        s.insert(Ix::i1(2), 3, Dummy::default());
+        assert_eq!(s.locate(&Ix::i1(2)), Some((3, 0)));
+        s.set_element_pe(&Ix::i1(2), 4);
+        assert_eq!(s.locate(&Ix::i1(2)), Some((4, 1)));
+        assert_eq!(s.locate(&Ix::i1(99)), None);
+    }
+
+    #[test]
+    fn clear_empties_both_tiers() {
+        let mut s = ArrayStore::<Dummy>::new(ArrayId(0), "dummy");
+        s.insert(Ix::i1(1), 0, Dummy::default());
+        s.insert(Ix::i1(-1), 0, Dummy::default());
+        s.clear();
+        assert_eq!(s.len(), 0);
+        assert!(s.indices().is_empty());
+        // Dense window stays claimed for I1 — reinsertion works.
+        s.insert(Ix::i1(1), 0, Dummy::default());
+        assert_eq!(s.len(), 1);
     }
 }

@@ -472,7 +472,7 @@ impl Runtime {
                 Ev::Deliver { .. }
                 | Ev::PeFree { .. }
                 | Ev::PeRetry { .. }
-                | Ev::MigrateArrive { .. }
+                | Ev::MigrateArrive(_)
                 | Ev::CkptCommit => {}
                 other => keep.push((t, other)),
             }

@@ -14,6 +14,7 @@ use crate::replay::{sys_event_digest, PerturbConfig, Recorder, ReplayConfig, Rep
 use crate::trace::{EntryKind, TraceConfig, TraceEventKind, Tracer};
 use charm_machine::thermal::ThermalModel;
 use charm_machine::{EventQueue, MachineConfig, NetworkModel, SimTime};
+use fxhash::FxHashMap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -49,21 +50,19 @@ impl std::fmt::Debug for HomeMap {
     }
 }
 
-/// Simulator events.
+/// Simulator events. Bulky payloads (envelopes, migration data) are boxed
+/// so the event heap sifts pointer-sized entries, not 100-byte structs —
+/// the allocation happens once at message creation and the box is reused
+/// through every re-route, forward, limbo park, and queue hop.
 pub(crate) enum Ev {
     /// A message arrives at a PE's scheduler queue.
-    Deliver { pe: usize, env: Envelope },
+    Deliver { pe: usize, env: Box<Envelope> },
     /// The PE finishes its current entry method.
     PeFree { pe: usize },
     /// A PE blocked by a global operation re-checks its queue.
     PeRetry { pe: usize },
     /// A migrating chare's data arrives at its new PE.
-    MigrateArrive {
-        dst: ObjId,
-        to_pe: usize,
-        from_pe: usize,
-        bytes: Vec<u8>,
-    },
+    MigrateArrive(Box<MigrateArrive>),
     /// Periodic temperature sampling / DVFS control.
     DvfsTick,
     /// A node crashes, killing every PE in its range (the `pe` names any PE
@@ -78,6 +77,14 @@ pub(crate) enum Ev {
     Reconfigure { to: usize },
     /// An RTS-scheduled load-balancing round (cloud/thermal triggers).
     RtsLb,
+}
+
+/// A migrating chare's serialized state en route to its new PE.
+pub(crate) struct MigrateArrive {
+    pub dst: ObjId,
+    pub to_pe: usize,
+    pub from_pe: usize,
+    pub bytes: Vec<u8>,
 }
 
 /// A message (or system event) in flight or queued.
@@ -96,7 +103,7 @@ pub(crate) struct Envelope {
 pub(crate) struct Pending {
     prio: i64,
     seq: u64,
-    pub(crate) env: Envelope,
+    pub(crate) env: Box<Envelope>,
 }
 
 impl PartialEq for Pending {
@@ -177,6 +184,11 @@ pub struct RunSummary {
     pub bytes: u64,
     /// Mean PE utilization (busy / elapsed) over live PEs.
     pub avg_utilization: f64,
+    /// Real (wall-clock) seconds spent inside `run*` calls so far.
+    pub wall_time_s: f64,
+    /// Simulator throughput: events processed per wall-clock second
+    /// (0 when no wall time has accumulated yet).
+    pub events_per_sec: f64,
 }
 
 /// A failure (or cascade) destroyed state that no surviving checkpoint
@@ -340,7 +352,9 @@ impl RuntimeBuilder {
     /// Construct the runtime.
     pub fn build(self) -> Runtime {
         let n = self.machine.num_pes;
-        let mut events = EventQueue::new();
+        // Pre-size for a few in-flight events per PE; saves the first
+        // handful of heap reallocations on every run.
+        let mut events = EventQueue::with_capacity(8 * n);
         // Schedule injected failures and the DVFS sampler.
         for f in self.machine.failures.events() {
             events.push(f.time, Ev::NodeFail { pe: f.pe });
@@ -376,13 +390,13 @@ impl RuntimeBuilder {
             live_pes: n,
             stores: Vec::new(),
             home_maps: Vec::new(),
-            array_names: HashMap::new(),
+            array_names: FxHashMap::default(),
             rngs,
             ctrl: ControlRegistry::new(),
             ctrl_snapshot: ControlValues::default(),
-            loc_cache: vec![HashMap::new(); n],
-            limbo: HashMap::new(),
-            reductions: HashMap::new(),
+            loc_cache: vec![FxHashMap::default(); n],
+            limbo: FxHashMap::default(),
+            reductions: FxHashMap::default(),
             qd: None,
             inflight: 0,
             queued: 0,
@@ -393,7 +407,7 @@ impl RuntimeBuilder {
             lb_rounds: Vec::new(),
             mem_ckpt: None,
             ckpt_pending: None,
-            copy_missing: HashMap::new(),
+            copy_missing: FxHashMap::default(),
             auto_ckpt_interval: self.auto_ckpt,
             unrecoverable: None,
             thermal,
@@ -402,18 +416,20 @@ impl RuntimeBuilder {
             last_rts_lb: SimTime::ZERO,
             chip_busy: vec![SimTime::ZERO; num_chips],
             sched_overhead: self.sched_overhead,
-            metrics: HashMap::new(),
+            metrics: FxHashMap::default(),
             entries: 0,
             messages: 0,
             bytes_moved: 0,
             events_processed: 0,
+            wall_run: std::time::Duration::ZERO,
+            action_scratch: Vec::new(),
             exit_requested: false,
             max_events: self.max_events,
             seed: self.seed,
             location_cache: self.location_cache,
             collective_arity: self.collective_arity,
             track_comm: self.track_comm,
-            comm: HashMap::new(),
+            comm: FxHashMap::default(),
             tracer,
             recorder,
             perturb,
@@ -436,16 +452,19 @@ pub struct Runtime {
     pub(crate) stores: Vec<Box<dyn AnyArray>>,
     /// Per-array home-mapping scheme (parallel to `stores`).
     home_maps: Vec<HomeMap>,
-    pub(crate) array_names: HashMap<String, ArrayId>,
+    pub(crate) array_names: FxHashMap<String, ArrayId>,
     pub(crate) rngs: Vec<StdRng>,
     pub(crate) ctrl: ControlRegistry,
     pub(crate) ctrl_snapshot: ControlValues,
-    /// Per-PE location caches: ObjId → (pe, epoch).
-    pub(crate) loc_cache: Vec<HashMap<ObjId, (usize, u32)>>,
+    /// Per-PE location caches: ObjId → (pe, epoch). Fx-hashed: looked up
+    /// once per send on the routing hot path.
+    pub(crate) loc_cache: Vec<FxHashMap<ObjId, (usize, u32)>>,
     /// Messages for not-yet-existing elements (dynamic insertion races,
-    /// in-transit migrations).
-    pub(crate) limbo: HashMap<ObjId, Vec<Envelope>>,
-    pub(crate) reductions: HashMap<(ArrayId, u32), RedState>,
+    /// in-transit migrations). Envelopes stay boxed so parking and
+    /// re-routing move a pointer, not the ~120-byte payload.
+    #[allow(clippy::vec_box)]
+    pub(crate) limbo: FxHashMap<ObjId, Vec<Box<Envelope>>>,
+    pub(crate) reductions: FxHashMap<(ArrayId, u32), RedState>,
     pub(crate) qd: Option<Callback>,
     /// Deliver/MigrateArrive events in flight.
     pub(crate) inflight: u64,
@@ -464,7 +483,7 @@ pub struct Runtime {
     /// PEs whose held checkpoint copies are invalid until the given time
     /// (the restart protocol is still re-replicating them). A failure that
     /// lands inside such a window widens the effective dead set.
-    pub(crate) copy_missing: HashMap<usize, SimTime>,
+    pub(crate) copy_missing: FxHashMap<usize, SimTime>,
     /// Automatic checkpoint period, when enabled.
     pub(crate) auto_ckpt_interval: Option<SimTime>,
     /// Set (once, sticky) when a failure destroys state beyond recovery.
@@ -477,11 +496,16 @@ pub struct Runtime {
     /// Busy time per chip accumulated since the last DVFS tick.
     pub(crate) chip_busy: Vec<SimTime>,
     sched_overhead: SimTime,
-    pub(crate) metrics: HashMap<String, Vec<(f64, f64)>>,
+    pub(crate) metrics: FxHashMap<String, Vec<(f64, f64)>>,
     entries: u64,
     messages: u64,
     bytes_moved: u64,
     events_processed: u64,
+    /// Wall-clock time accumulated inside `run*` calls (not virtual time).
+    wall_run: std::time::Duration,
+    /// Reusable buffer for the actions a `Ctx` collects during one entry
+    /// method — saves a heap allocation per executed message.
+    action_scratch: Vec<Action>,
     pub(crate) exit_requested: bool,
     max_events: u64,
     pub(crate) seed: u64,
@@ -492,7 +516,7 @@ pub struct Runtime {
     /// Record obj→obj communication for the LB?
     track_comm: bool,
     /// Aggregated obj→obj bytes since the last LB round (when tracked).
-    comm: HashMap<(ObjId, ObjId), u64>,
+    comm: FxHashMap<(ObjId, ObjId), u64>,
     /// Projections-lite tracing, when enabled ([`RuntimeBuilder::tracing`]).
     pub(crate) tracer: Option<Tracer>,
     /// Replay recording, when enabled ([`RuntimeBuilder::record`]).
@@ -617,7 +641,7 @@ impl Runtime {
         if let Some(r) = &mut self.recorder {
             r.note_origin(rec_id); // external origin: no current exec
         }
-        let env = Envelope {
+        let env = Box::new(Envelope {
             dst: ObjId {
                 array: proxy.id,
                 ix,
@@ -627,18 +651,85 @@ impl Runtime {
             prio: 0,
             src_pe: 0,
             rec_id,
-        };
+        });
         self.route_and_schedule(env, self.now);
     }
 
     /// Broadcast a message to every element of an array from the host.
-    pub fn broadcast<C: Chare>(&mut self, proxy: ArrayProxy<C>, msg: C::Msg)
+    ///
+    /// The wire size is computed once (the clones are PUP-identical), not
+    /// once per element — on a large array the sizing pass used to dominate
+    /// the host-side cost. Each element still receives its own point-to-
+    /// point delivery; see [`broadcast_tree`](Self::broadcast_tree) for the
+    /// spanning-tree collective.
+    pub fn broadcast<C: Chare>(&mut self, proxy: ArrayProxy<C>, mut msg: C::Msg)
     where
         C::Msg: Clone,
     {
+        let bytes = charm_pup::packed_size(&mut msg) + ENVELOPE_BYTES;
         let targets = self.stores[proxy.id.0 as usize].indices();
         for ix in targets {
-            self.send(proxy, ix, msg.clone());
+            let rec_id = self.fresh_rec_id();
+            if let Some(r) = &mut self.recorder {
+                r.note_origin(rec_id);
+            }
+            let env = Box::new(Envelope {
+                dst: ObjId {
+                    array: proxy.id,
+                    ix,
+                },
+                payload: Payload::User(Box::new(msg.clone())),
+                bytes,
+                prio: 0,
+                src_pe: 0,
+                rec_id,
+            });
+            self.route_and_schedule(env, self.now);
+        }
+    }
+
+    /// Broadcast through the `collective_arity`-ary spanning tree, matching
+    /// the Charm++ collective: every element receives the message exactly
+    /// once, after `tree_depth()` small-message hops rather than after one
+    /// independent point-to-point delivery per element. Opt-in because the
+    /// tree adds latency for tiny arrays; throughput-bound fan-outs should
+    /// prefer it.
+    pub fn broadcast_tree<C: Chare>(&mut self, proxy: ArrayProxy<C>, mut msg: C::Msg)
+    where
+        C::Msg: Clone,
+    {
+        let bytes = charm_pup::packed_size(&mut msg) + ENVELOPE_BYTES;
+        let array = proxy.id;
+        // Identical tree-cost model to chare-initiated broadcasts
+        // (`do_broadcast`): each tree level adds one message latency.
+        let depth = self.tree_depth();
+        let level_cost = self.net.delay(0, 1.min(self.live_pes - 1), bytes);
+        let tree_delay = SimTime(level_cost.0 * depth);
+        let targets = self.stores[array.0 as usize].indices();
+        for ix in targets {
+            let dst = ObjId { array, ix };
+            let Some(pe) = self.stores[array.0 as usize].element_pe(&ix) else {
+                continue;
+            };
+            let rec_id = self.fresh_rec_id();
+            if let Some(r) = &mut self.recorder {
+                r.note_origin(rec_id);
+                r.on_routed(rec_id, bytes, 0, pe, depth, 0);
+            }
+            let env = Box::new(Envelope {
+                dst,
+                payload: Payload::User(Box::new(msg.clone())),
+                bytes,
+                prio: 0,
+                src_pe: 0,
+                rec_id,
+            });
+            self.bytes_moved += bytes as u64;
+            self.inflight += 1;
+            if let Some(tr) = &mut self.tracer {
+                tr.on_send(self.now, 0, pe, dst, bytes);
+            }
+            self.events.push(self.now + tree_delay, Ev::Deliver { pe, env });
         }
     }
 
@@ -756,21 +847,42 @@ impl Runtime {
     /// chare calls `exit`, or the event cap is hit.
     pub fn run_until(&mut self, deadline: SimTime) -> RunSummary {
         self.ctrl_snapshot = self.ctrl.snapshot();
+        let wall_start = std::time::Instant::now();
+        // All events sharing the head timestamp are popped in one batch
+        // (one buffer, reused across timesteps) instead of a peek+pop pair
+        // per event. Processing order is unchanged: the batch preserves
+        // insertion order, and events pushed at the same timestamp *during*
+        // the batch carry later sequence numbers, so they surface in the
+        // next batch — exactly where repeated `pop` would have yielded them.
+        let mut batch: Vec<(u64, Ev)> = Vec::new();
         while !self.exit_requested && self.events_processed < self.max_events {
-            match self.events.peek_time() {
-                Some(t) if t <= deadline => {}
+            let t = match self.events.peek_time() {
+                Some(t) if t <= deadline => t,
                 _ => break,
-            }
-            let (t, ev) = self.events.pop().expect("peeked");
+            };
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
-            self.events_processed += 1;
-            self.dispatch(ev);
-            self.maybe_detect_quiescence();
+            self.events.pop_batch_at_seq_into(t, &mut batch);
+            let mut drain = batch.drain(..);
+            for (_, ev) in drain.by_ref() {
+                self.events_processed += 1;
+                self.dispatch(ev);
+                self.maybe_detect_quiescence();
+                if self.exit_requested || self.events_processed >= self.max_events {
+                    break;
+                }
+            }
+            // Early exit mid-batch: unprocessed ties go back under their
+            // original sequence numbers, so a later resumed run (interop's
+            // `clear_exit`) pops them in the exact pre-batch order.
+            for (seq, ev) in drain {
+                self.events.restore(t, seq, ev);
+            }
         }
         if deadline != SimTime::MAX && !self.exit_requested {
             self.now = self.now.max(deadline);
         }
+        self.wall_run += wall_start.elapsed();
         self.summary()
     }
 
@@ -815,6 +927,7 @@ impl Runtime {
         } else {
             0.0
         };
+        let wall = self.wall_run.as_secs_f64();
         RunSummary {
             end_time: self.now,
             events: self.events_processed,
@@ -822,6 +935,12 @@ impl Runtime {
             messages: self.messages,
             bytes: self.bytes_moved,
             avg_utilization: util,
+            wall_time_s: wall,
+            events_per_sec: if wall > 0.0 {
+                self.events_processed as f64 / wall
+            } else {
+                0.0
+            },
         }
     }
 
@@ -835,6 +954,23 @@ impl Runtime {
                     // element died with the process (crash without
                     // checkpoint), `route_and_schedule` drops it.
                     self.route_and_schedule(env, self.now);
+                    return;
+                }
+                // Idle-PE fast path: nothing queued and nothing running, so
+                // the envelope would be heap-pushed and immediately popped.
+                // Its `seq` (= pre-increment `messages`) is assigned then
+                // discarded on the slow path too, so skipping the priority
+                // heap is unobservable — counters, tracing, and execution
+                // order are identical.
+                let p = &self.pes[pe];
+                if !p.busy && p.pending.is_empty() && self.now >= p.blocked_until {
+                    self.messages += 1;
+                    if let Some(tr) = &mut self.tracer {
+                        tr.on_recv(self.now, pe, env.src_pe, env.dst, env.bytes);
+                    }
+                    // A false return means parked/forwarded; with an empty
+                    // queue there is nothing further to start either way.
+                    self.execute(pe, env);
                     return;
                 }
                 self.enqueue_local(pe, env);
@@ -871,12 +1007,13 @@ impl Runtime {
             Ev::PeRetry { pe } => {
                 self.try_start(pe);
             }
-            Ev::MigrateArrive {
-                dst,
-                to_pe,
-                from_pe,
-                bytes,
-            } => {
+            Ev::MigrateArrive(m) => {
+                let MigrateArrive {
+                    dst,
+                    to_pe,
+                    from_pe,
+                    bytes,
+                } = *m;
                 self.inflight -= 1;
                 self.stores[dst.array.0 as usize].unpack_insert(dst.ix, to_pe, &bytes);
                 // Tell the chare it moved, then flush any messages parked
@@ -893,7 +1030,7 @@ impl Runtime {
         }
     }
 
-    fn enqueue_local(&mut self, pe: usize, env: Envelope) {
+    fn enqueue_local(&mut self, pe: usize, env: Box<Envelope>) {
         let seq = self.messages;
         self.messages += 1;
         self.queued += 1;
@@ -937,21 +1074,20 @@ impl Runtime {
 
     /// Execute one envelope on `pe` at `self.now`. Returns false when the
     /// envelope was parked or forwarded instead of executed.
-    fn execute(&mut self, pe: usize, mut env: Envelope) -> bool {
+    fn execute(&mut self, pe: usize, mut env: Box<Envelope>) -> bool {
         let aid = env.dst.array;
         let ix = env.dst.ix;
         let store = &mut self.stores[aid.0 as usize];
 
         // The element may have moved (stale cache delivered here) or may not
         // exist yet (dynamic insertion / migration in transit).
-        match store.element_pe(&ix) {
+        match store.locate(&ix) {
             None => {
                 self.limbo.entry(env.dst).or_default().push(env);
                 return false;
             }
-            Some(actual) if actual != pe => {
+            Some((actual, epoch)) if actual != pe => {
                 // Forward along and update the original sender's cache.
-                let epoch = store.element_epoch(&ix).unwrap();
                 let delay = self.net.delay(pe, actual, env.bytes);
                 self.loc_cache[env.src_pe].insert(env.dst, (actual, epoch));
                 self.bytes_moved += env.bytes as u64;
@@ -995,7 +1131,9 @@ impl Runtime {
             num_pes: self.live_pes,
             self_id: env.dst,
             work_units: 0.0,
-            actions: Vec::new(),
+            // Reuse one buffer across entry executions (allocation-free
+            // steady state); returned to the scratch slot below.
+            actions: std::mem::take(&mut self.action_scratch),
             rng: &mut self.rngs[pe],
             ctrl: &self.ctrl_snapshot,
         };
@@ -1070,7 +1208,9 @@ impl Runtime {
                 n_local,
             );
         }
-        self.apply_actions(env.dst, pe, end, actions);
+        let mut actions = actions;
+        self.apply_actions(env.dst, pe, end, &mut actions);
+        self.action_scratch = actions;
         if let Some(r) = &mut self.recorder {
             r.end_exec();
             if let Some(n) = r.cfg.digest_every {
@@ -1104,8 +1244,14 @@ impl Runtime {
         s
     }
 
-    pub(crate) fn apply_actions(&mut self, src: ObjId, src_pe: usize, at: SimTime, actions: Vec<Action>) {
-        for action in actions {
+    pub(crate) fn apply_actions(
+        &mut self,
+        src: ObjId,
+        src_pe: usize,
+        at: SimTime,
+        actions: &mut Vec<Action>,
+    ) {
+        for action in actions.drain(..) {
             match action {
                 Action::Send {
                     dst,
@@ -1121,14 +1267,14 @@ impl Runtime {
                     if let Some(r) = &mut self.recorder {
                         r.note_origin(rec_id);
                     }
-                    let env = Envelope {
+                    let env = Box::new(Envelope {
                         dst,
                         payload: Payload::User(payload),
                         bytes,
                         prio,
                         src_pe,
                         rec_id,
-                    };
+                    });
                     self.route_and_schedule(env, at + delay);
                 }
                 Action::Broadcast {
@@ -1194,11 +1340,11 @@ impl Runtime {
     /// Cache hit → direct send. Stale cache → the stale PE forwards (cost
     /// modeled in `execute`, which re-routes). Miss → home-PE query round
     /// trip precedes the send.
-    pub(crate) fn route_and_schedule(&mut self, env: Envelope, at: SimTime) {
+    pub(crate) fn route_and_schedule(&mut self, env: Box<Envelope>, at: SimTime) {
         let src = env.src_pe;
         let dst = env.dst;
         let store = &self.stores[dst.array.0 as usize];
-        let Some(true_pe) = store.element_pe(&dst.ix) else {
+        let Some((true_pe, epoch)) = store.locate(&dst.ix) else {
             self.limbo.entry(dst).or_default().push(env);
             return;
         };
@@ -1206,7 +1352,6 @@ impl Runtime {
             // Element lost with a crashed, unrecovered process.
             return;
         }
-        let epoch = store.element_epoch(&dst.ix).unwrap();
 
         let (target_pe, extra) = if true_pe == src {
             (true_pe, SimTime::ZERO)
@@ -1311,14 +1456,14 @@ impl Runtime {
                 r.note_origin(rec_id);
                 r.on_routed(rec_id, bytes, src_pe, pe, depth, 0);
             }
-            let env = Envelope {
+            let env = Box::new(Envelope {
                 dst,
                 payload: Payload::User(make()),
                 bytes,
                 prio,
                 src_pe,
                 rec_id,
-            };
+            });
             self.bytes_moved += bytes as u64;
             self.inflight += 1;
             if let Some(tr) = &mut self.tracer {
@@ -1420,14 +1565,14 @@ impl Runtime {
             r.note_origin(rec_id);
             r.on_routed(rec_id, ENVELOPE_BYTES, pe, pe, tree_depth, 0);
         }
-        let env = Envelope {
+        let env = Box::new(Envelope {
             dst,
             payload: Payload::Sys(ev),
             bytes: ENVELOPE_BYTES,
             prio: i64::MIN + 1, // system events run promptly
             src_pe: pe,
             rec_id,
-        };
+        });
         self.inflight += 1;
         self.events.push(
             at + self.net.params().local_delivery,
@@ -1464,12 +1609,12 @@ impl Runtime {
         }
         self.events.push(
             at + delay,
-            Ev::MigrateArrive {
+            Ev::MigrateArrive(Box::new(MigrateArrive {
                 dst: src,
                 to_pe: to,
                 from_pe,
                 bytes,
-            },
+            })),
         );
     }
 

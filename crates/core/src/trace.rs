@@ -839,6 +839,16 @@ impl Runtime {
         if tr.ledger_dropped > 0 {
             let _ = writeln!(out, "  ... {} ledger entries dropped", tr.ledger_dropped);
         }
+
+        // Engine-throughput footer: real time spent simulating and the
+        // resulting events/sec, so every report doubles as a perf sample
+        // (cf. BENCH_engine.json for the standing benchmark matrix).
+        let s = self.summary();
+        let _ = writeln!(
+            out,
+            "-- engine: {} event(s) in {:.3}s wall ({:.0} events/s)",
+            s.events, s.wall_time_s, s.events_per_sec
+        );
         Some(out)
     }
 }

@@ -44,6 +44,14 @@ impl<T> EventQueue<T> {
         }
     }
 
+    /// An empty queue with room for `cap` events before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+        }
+    }
+
     /// Schedule `payload` at `time`.
     pub fn push(&mut self, time: SimTime, payload: T) {
         let seq = self.seq;
@@ -64,6 +72,59 @@ impl<T> EventQueue<T> {
         self.heap.peek().map(|e| e.key.0 .0)
     }
 
+    /// Pop every event scheduled exactly at `t`, in insertion order.
+    ///
+    /// Equivalent to (and ordered identically to) repeated `pop` while the
+    /// head's timestamp equals `t` — callers batch a whole timestep in one
+    /// pass instead of re-peeking the heap per event. Events pushed at `t`
+    /// *after* this call get later sequence numbers and surface in the next
+    /// batch, exactly as they would have popped after the existing ties.
+    pub fn pop_batch_at(&mut self, t: SimTime) -> Vec<T> {
+        let mut out = Vec::new();
+        self.pop_batch_at_into(t, &mut out);
+        out
+    }
+
+    /// [`pop_batch_at`](Self::pop_batch_at) into a caller-owned buffer —
+    /// the hot loop reuses one allocation across timesteps. Clears `out`
+    /// first.
+    pub fn pop_batch_at_into(&mut self, t: SimTime, out: &mut Vec<T>) {
+        out.clear();
+        while let Some(head) = self.heap.peek() {
+            if head.key.0 .0 != t {
+                break;
+            }
+            out.push(self.heap.pop().expect("peeked").payload);
+        }
+    }
+
+    /// [`pop_batch_at_into`](Self::pop_batch_at_into), but each payload is
+    /// paired with its tie-break sequence number so unprocessed entries can
+    /// be [`restore`](Self::restore)d in exactly their original position.
+    pub fn pop_batch_at_seq_into(&mut self, t: SimTime, out: &mut Vec<(u64, T)>) {
+        out.clear();
+        while let Some(head) = self.heap.peek() {
+            if head.key.0 .0 != t {
+                break;
+            }
+            let e = self.heap.pop().expect("peeked");
+            out.push((e.key.0 .1, e.payload));
+        }
+    }
+
+    /// Re-insert an entry obtained from
+    /// [`pop_batch_at_seq_into`](Self::pop_batch_at_seq_into) under its
+    /// original `(time, seq)` key, so it pops exactly where repeated
+    /// [`pop`](Self::pop) would have placed it — ahead of any same-time
+    /// event pushed since the batch was taken. The caller must only pass
+    /// keys it popped (reusing a live key would break the total order).
+    pub fn restore(&mut self, t: SimTime, seq: u64, payload: T) {
+        self.heap.push(Entry {
+            key: Reverse((t, seq)),
+            payload,
+        });
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -74,9 +135,12 @@ impl<T> EventQueue<T> {
         self.heap.is_empty()
     }
 
-    /// Drop all pending events (used when a simulation is aborted).
+    /// Drop all pending events (used when a simulation is aborted) and
+    /// reset the tie-break sequence, so a cleared queue is indistinguishable
+    /// from a fresh one — reruns after an abort stay deterministic.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.seq = 0;
     }
 }
 
@@ -132,5 +196,95 @@ mod tests {
         q.push(SimTime::ZERO, 1);
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_sequence() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.push(SimTime::from_nanos(1), i);
+        }
+        q.clear();
+        // After clear, tie-breaking restarts from seq 0: a fresh queue and a
+        // cleared queue order identical pushes identically.
+        let t = SimTime::from_nanos(2);
+        q.push(t, 10);
+        q.push(t, 11);
+        q.push(t, 12);
+        assert_eq!(q.pop().unwrap().1, 10);
+        assert_eq!(q.pop().unwrap().1, 11);
+        assert_eq!(q.pop().unwrap().1, 12);
+    }
+
+    #[test]
+    fn batch_pop_matches_repeated_pop_on_ties() {
+        let t1 = SimTime::from_nanos(10);
+        let t2 = SimTime::from_nanos(20);
+        let mut q = EventQueue::new();
+        let mut q2 = EventQueue::new();
+        // Interleave pushes at two timestamps; ties must come out in
+        // insertion order from both APIs.
+        for i in 0..50 {
+            let t = if i % 3 == 0 { t2 } else { t1 };
+            q.push(t, i);
+            q2.push(t, i);
+        }
+        let head = q.peek_time().unwrap();
+        assert_eq!(head, t1);
+        let batch = q.pop_batch_at(head);
+        let mut expected = Vec::new();
+        while q2.peek_time() == Some(head) {
+            expected.push(q2.pop().unwrap().1);
+        }
+        assert_eq!(batch, expected);
+        assert!(batch.windows(2).all(|w| w[0] < w[1]), "insertion order");
+        // The later timestamp's events are untouched.
+        assert_eq!(q.peek_time(), Some(t2));
+        assert_eq!(q.len(), q2.len());
+    }
+
+    #[test]
+    fn batch_pop_into_reuses_buffer_and_clears_it() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(7);
+        q.push(t, 1);
+        q.push(t, 2);
+        q.push(SimTime::from_nanos(8), 3);
+        let mut buf = vec![99, 98, 97];
+        q.pop_batch_at_into(t, &mut buf);
+        assert_eq!(buf, vec![1, 2]);
+        // A batch at a timestamp with no events leaves an empty buffer.
+        q.pop_batch_at_into(SimTime::from_nanos(9), &mut buf);
+        assert!(buf.is_empty());
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn restore_puts_leftovers_ahead_of_newer_ties() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(4);
+        q.push(t, "a");
+        q.push(t, "b");
+        let mut batch = Vec::new();
+        q.pop_batch_at_seq_into(t, &mut batch);
+        assert_eq!(batch.len(), 2);
+        // "c" arrives at the same timestamp while the batch is out.
+        q.push(t, "c");
+        // Only "a" was processed; "b" goes back with its original seq and
+        // must pop before "c", exactly as repeated pop() would have ordered.
+        let (seq_b, b) = batch.remove(1);
+        q.restore(t, seq_b, b);
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(64);
+        assert!(q.is_empty());
+        q.push(SimTime::from_nanos(2), "b");
+        q.push(SimTime::from_nanos(1), "a");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
     }
 }

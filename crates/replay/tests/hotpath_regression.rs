@@ -1,0 +1,108 @@
+//! Hot-path regression net: same-seed stencil / LeanMD / PDES runs must
+//! reproduce the committed golden replay logs *byte for byte* — every
+//! executed entry, every consumed-message digest, every periodic state
+//! point, the final chare-state digests, and the virtual end time.
+//!
+//! The golden logs under `tests/golden/` were recorded **before** the PR 4
+//! scheduler optimizations (SipHash maps, no dense-index store, per-event
+//! heap pops). The optimized engine replays them exactly, which is the
+//! proof that the perf work changed nothing observable.
+//!
+//! To re-bless after an *intentional* semantic change (new message, changed
+//! cost model, …):
+//!
+//! ```text
+//! CHARM_BLESS_GOLDEN=1 cargo test -p charm-replay --test hotpath_regression
+//! ```
+
+use charm_apps::{leanmd, pdes, stencil};
+use charm_core::ReplayConfig;
+use charm_machine::presets;
+use charm_replay::{load, save, verify, ReplayLog};
+use std::path::PathBuf;
+
+fn golden_path(app: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{app}.rlog"))
+}
+
+fn blessing() -> bool {
+    std::env::var("CHARM_BLESS_GOLDEN").is_ok()
+}
+
+/// Compare a fresh recording against the committed golden log: first
+/// digest-for-digest (good diagnostics on divergence), then byte-for-byte
+/// through the on-disk codec (catches anything verify() doesn't model).
+fn check_against_golden(app: &str, mut log: ReplayLog) {
+    log.app = app.to_string();
+    let path = golden_path(app);
+    if blessing() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        save(&log, &path).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let golden = load(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing/corrupt golden log {} ({e:?}); run with CHARM_BLESS_GOLDEN=1 to create",
+            path.display()
+        )
+    });
+    let report = verify(&golden, &log);
+    assert!(
+        report.ok(),
+        "{app}: engine behavior diverged from the pre-optimization recording:\n{report}"
+    );
+    assert!(report.execs_recorded > 0, "{app}: golden log is empty");
+    assert!(
+        !log.final_state.digests.is_empty(),
+        "{app}: no final state digests"
+    );
+
+    let tmp = std::env::temp_dir().join(format!("charm_hotpath_{app}_{}.rlog", std::process::id()));
+    save(&log, &tmp).unwrap();
+    let fresh_bytes = std::fs::read(&tmp).unwrap();
+    let golden_bytes = std::fs::read(&path).unwrap();
+    let _ = std::fs::remove_file(&tmp);
+    assert_eq!(
+        fresh_bytes, golden_bytes,
+        "{app}: serialized replay log is not byte-identical to the golden log"
+    );
+}
+
+#[test]
+fn stencil_matches_pre_optimization_golden() {
+    let mut cfg = stencil::StencilConfig::cloud_4k(presets::cloud(8), 2);
+    cfg.steps = 5;
+    cfg.record = Some(ReplayConfig::with_digest_every(64));
+    let (_run, mut rt) = stencil::run_with_runtime(cfg);
+    check_against_golden("stencil", rt.take_replay_log().expect("recording on"));
+}
+
+#[test]
+fn leanmd_matches_pre_optimization_golden() {
+    let cfg = leanmd::LeanMdConfig {
+        cells_per_dim: 3,
+        atoms_per_cell: 20,
+        steps: 3,
+        record: Some(ReplayConfig::with_digest_every(128)),
+        ..Default::default()
+    };
+    let (_run, mut rt) = leanmd::run_with_runtime(cfg);
+    check_against_golden("leanmd", rt.take_replay_log().expect("recording on"));
+}
+
+#[test]
+fn pdes_matches_pre_optimization_golden() {
+    let cfg = pdes::PdesConfig {
+        machine: charm_core::MachineConfig::homogeneous(8),
+        lps_per_pe: 8,
+        initial_events_per_lp: 8,
+        windows: 4,
+        record: Some(ReplayConfig::with_digest_every(256)),
+        ..Default::default()
+    };
+    let (_run, mut rt) = pdes::run_with_runtime(cfg);
+    check_against_golden("pdes", rt.take_replay_log().expect("recording on"));
+}

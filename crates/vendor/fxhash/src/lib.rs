@@ -1,0 +1,150 @@
+//! A deterministic fast hasher for the simulator's hot-path maps.
+//!
+//! `std::collections::HashMap` defaults to SipHash-1-3 with per-process
+//! random keys: DoS-resistant, but ~10× slower than needed for the small
+//! fixed-shape keys (`Ix`, `ObjId`, `(ArrayId, u32)`) the runtime hashes
+//! millions of times per run — and randomly seeded, so even *iteration
+//! order* differs between processes. This crate is the classic
+//! FxHash/rustc-hash design: a single multiply-rotate round per word,
+//! fixed constants, no per-process state. Every run of every binary
+//! hashes — and therefore iterates — identically, which the record/replay
+//! subsystem relies on.
+//!
+//! Not DoS-resistant; keys here are simulator-internal, never attacker
+//! chosen.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx multiply constant (π-derived, as in rustc-hash).
+const K: u64 = 0x517cc1b727220a95;
+
+/// The hasher: one `rotate ^ mix *` round per input word.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf) | ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Seed-free `BuildHasher` — identical across processes and platforms.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` with the Fx hasher.
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_of(&(3u32, 7i64)), hash_of(&(3u32, 7i64)));
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+    }
+
+    #[test]
+    fn fixed_values_guard_against_algorithm_drift() {
+        // Changing the algorithm silently would re-bucket every map; fail
+        // loudly instead.
+        assert_eq!(hash_of(&0u64), 0);
+        assert_eq!(hash_of(&1u64), K);
+        assert_ne!(hash_of(&2u64), hash_of(&3u64));
+    }
+
+    #[test]
+    fn spreads_small_integers() {
+        let mut buckets = [0u32; 16];
+        for i in 0..1600i64 {
+            buckets[(hash_of(&i) % 16) as usize] += 1;
+        }
+        for b in buckets {
+            assert!(b > 40, "badly skewed: {buckets:?}");
+        }
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<&str, i32> = FxHashMap::default();
+        m.insert("a", 1);
+        assert_eq!(m["a"], 1);
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(9);
+        assert!(s.contains(&9));
+    }
+
+    #[test]
+    fn partial_tail_bytes_distinguished() {
+        // Same prefix, different tail lengths must not collide trivially.
+        let a = {
+            let mut h = FxHasher::default();
+            h.write(b"abcdefgh_x");
+            h.finish()
+        };
+        let b = {
+            let mut h = FxHasher::default();
+            h.write(b"abcdefgh_xy");
+            h.finish()
+        };
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,47 @@
+#!/bin/sh
+# Engine-throughput smoke test: run the benchmark matrix in --smoke mode
+# (tiny configs, ~1 s; each workload still self-checks its same-seed
+# determinism digest), then validate the committed BENCH_engine.json —
+# CI fails if the benchmark record is missing or malformed, so the perf
+# trajectory can never silently rot.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo run --release -q -p charm-bench --bin engine_bench -- --smoke
+
+python3 - <<'PYEOF'
+import json
+
+with open("BENCH_engine.json") as f:
+    doc = json.load(f)
+
+required_top = ["bench", "mode", "workloads"]
+for k in required_top:
+    assert k in doc, f"BENCH_engine.json missing top-level key {k!r}"
+assert doc["bench"] == "engine", f"unexpected bench id {doc['bench']!r}"
+
+expected = {"ping_pipe", "tram_flood", "stencil2d", "leanmd", "pdes"}
+names = {w["name"] for w in doc["workloads"]}
+assert names == expected, f"workload set mismatch: {sorted(names)}"
+
+for w in doc["workloads"]:
+    for k in (
+        "events", "messages", "wall_s", "events_per_sec", "msgs_per_sec",
+        "baseline_events_per_sec", "speedup_vs_baseline", "final_state_digest",
+    ):
+        assert k in w, f"workload {w.get('name')!r} missing {k!r}"
+    assert w["events"] > 0, f"{w['name']}: no events recorded"
+    assert w["wall_s"] > 0, f"{w['name']}: zero wall time"
+    assert w["events_per_sec"] > 0, f"{w['name']}: zero throughput"
+
+pp = next(w for w in doc["workloads"] if w["name"] == "ping_pipe")
+assert pp["speedup_vs_baseline"] >= 2.0, (
+    f"ping_pipe speedup regressed below the 2x floor: "
+    f"{pp['speedup_vs_baseline']:.2f}x"
+)
+
+print(f"BENCH_engine.json ok: {len(doc['workloads'])} workloads, "
+      f"ping_pipe {pp['speedup_vs_baseline']:.2f}x vs pre-opt baseline")
+PYEOF
+
+echo "bench smoke test passed"

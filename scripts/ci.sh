@@ -1,7 +1,8 @@
 #!/bin/sh
 # Single-entry CI gate: release build, full test suite, clippy (warnings
-# are errors, all crates), and the two end-to-end smokes (tracing and
-# record/replay). Exits non-zero on the first failure.
+# are errors, all crates), and the three end-to-end smokes (tracing,
+# record/replay, and engine throughput — which also validates the
+# committed BENCH_engine.json). Exits non-zero on the first failure.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -19,5 +20,8 @@ sh scripts/trace_smoke.sh
 
 echo "==> replay smoke"
 sh scripts/replay_smoke.sh
+
+echo "==> bench smoke"
+sh scripts/bench_smoke.sh
 
 echo "CI OK"
