@@ -34,7 +34,7 @@ use charm_pup::{Pup, Puper};
 use std::collections::{BTreeMap, VecDeque};
 
 /// A rank's user program, written as a resumable state machine.
-pub trait RankProgram: Pup + Default + 'static {
+pub trait RankProgram: Pup + Default + Send + 'static {
     /// Make as much progress as currently possible. Called after rank
     /// start-up and after every arrival of something the rank may be
     /// waiting on. Must be idempotent with respect to unavailable data

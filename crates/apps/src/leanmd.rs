@@ -72,11 +72,14 @@ pub struct LeanMdConfig {
     pub record: Option<charm_core::ReplayConfig>,
     /// Schedule perturbation for race hunting (None = off).
     pub perturb: Option<charm_core::PerturbConfig>,
+    /// Simulator worker threads (1 = sequential engine).
+    pub threads: usize,
 }
 
 impl Default for LeanMdConfig {
     fn default() -> Self {
         LeanMdConfig {
+            threads: 1,
             machine: MachineConfig::homogeneous(8),
             cells_per_dim: 4,
             atoms_per_cell: 60,
@@ -535,6 +538,7 @@ pub fn run_with_runtime(mut config: LeanMdConfig) -> (AppRun, Runtime) {
         MachineConfig::homogeneous(1),
     ))
     .seed(config.seed)
+    .threads(config.threads)
     .lb_trigger(LbTrigger::AtSync);
     if let Some(interval) = config.auto_ckpt {
         b = b.auto_checkpoint(interval);

@@ -52,6 +52,10 @@ pub struct PdesConfig {
     pub record: Option<charm_core::ReplayConfig>,
     /// Schedule perturbation for race hunting (None = off).
     pub perturb: Option<charm_core::PerturbConfig>,
+    /// Projections-lite tracing (None = off; see `charm_core::trace`).
+    pub trace: Option<charm_core::TraceConfig>,
+    /// Simulator worker threads (1 = sequential engine).
+    pub threads: usize,
 }
 
 impl Default for PdesConfig {
@@ -68,6 +72,8 @@ impl Default for PdesConfig {
             seed: 42,
             record: None,
             perturb: None,
+            trace: None,
+            threads: 1,
         }
     }
 }
@@ -366,12 +372,16 @@ pub fn run_with_runtime(mut config: PdesConfig) -> (PdesRun, Runtime) {
         &mut config.machine,
         MachineConfig::homogeneous(1),
     ))
-    .seed(config.seed);
+    .seed(config.seed)
+    .threads(config.threads);
     if let Some(rc) = config.record.take() {
         b = b.record(rc);
     }
     if let Some(pc) = config.perturb.take() {
         b = b.perturb(pc);
+    }
+    if let Some(tc) = config.trace.take() {
+        b = b.tracing(tc);
     }
     let mut rt = b.build();
     let lps: ArrayProxy<Lp> = rt.create_array("pdes_lps");

@@ -44,6 +44,10 @@ pub struct StencilConfig {
     pub record: Option<charm_core::ReplayConfig>,
     /// Schedule perturbation for race hunting (None = off).
     pub perturb: Option<charm_core::PerturbConfig>,
+    /// Projections-lite tracing (None = off; see `charm_core::trace`).
+    pub trace: Option<charm_core::TraceConfig>,
+    /// Simulator worker threads (1 = sequential engine).
+    pub threads: usize,
 }
 
 impl StencilConfig {
@@ -66,6 +70,8 @@ impl StencilConfig {
             seed: 42,
             record: None,
             perturb: None,
+            trace: None,
+            threads: 1,
         }
     }
 }
@@ -275,6 +281,7 @@ pub fn run_with_runtime(mut config: StencilConfig) -> (AppRun, Runtime) {
     .seed(config.seed)
     .dvfs(config.dvfs)
     .dvfs_period(config.dvfs_period)
+    .threads(config.threads)
     .lb_trigger(LbTrigger::AtSync);
     if let Some(s) = config.strategy.take() {
         b = b.strategy(s);
@@ -287,6 +294,9 @@ pub fn run_with_runtime(mut config: StencilConfig) -> (AppRun, Runtime) {
     }
     if let Some(pc) = config.perturb.take() {
         b = b.perturb(pc);
+    }
+    if let Some(tc) = config.trace.take() {
+        b = b.tracing(tc);
     }
     let mut rt = b.build();
     for (t, pe) in &config.failures {

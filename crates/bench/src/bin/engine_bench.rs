@@ -63,6 +63,7 @@ struct Measured {
     messages: u64,
     wall_s: f64,
     digest: u64,
+    went_parallel: bool,
 }
 
 impl Measured {
@@ -90,19 +91,32 @@ fn fold_digest(pairs: &[(charm_core::ObjId, u64)]) -> u64 {
 }
 
 /// Run `build` + `run` twice under the wall clock; check determinism and
-/// keep the faster run.
-fn measure(name: &'static str, run_once: impl Fn() -> (RunSummary, u64)) -> Measured {
+/// keep the faster run. With `threads > 1` the workload also runs once on
+/// the sequential engine and the final state digests must agree — the
+/// parallel engine's byte-identical contract, enforced on every bench run.
+fn measure(
+    name: &'static str,
+    threads: usize,
+    run_once: impl Fn(usize) -> (RunSummary, u64, bool),
+) -> Measured {
     let t0 = Instant::now();
-    let (s1, d1) = run_once();
+    let (s1, d1, p1) = run_once(threads);
     let w1 = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
-    let (s2, d2) = run_once();
+    let (s2, d2, _) = run_once(threads);
     let w2 = t1.elapsed().as_secs_f64();
     assert_eq!(
         d1, d2,
         "{name}: same-seed final state digests diverged — engine nondeterminism"
     );
     assert_eq!(s1.events, s2.events, "{name}: same-seed event counts diverged");
+    if threads > 1 {
+        let (_, d_seq, _) = run_once(1);
+        assert_eq!(
+            d1, d_seq,
+            "{name}: parallel ({threads} threads) digest diverged from sequential"
+        );
+    }
     Measured {
         name,
         events: s1.events,
@@ -110,6 +124,7 @@ fn measure(name: &'static str, run_once: impl Fn() -> (RunSummary, u64)) -> Meas
         messages: s1.messages,
         wall_s: w1.min(w2).max(1e-9),
         digest: d1,
+        went_parallel: p1,
     }
 }
 
@@ -144,8 +159,9 @@ impl Chare for Ping {
 /// `pairs` chare pairs spread over `pes` PEs, each pair exchanging `limit`
 /// zero-work messages per endpoint. Nothing but envelopes, queues, and the
 /// event heap: the closest thing to a syscall benchmark the engine has.
-fn run_ping_pipe(pes: usize, pairs: usize, limit: u64) -> (RunSummary, u64) {
+fn run_ping_pipe(pes: usize, pairs: usize, limit: u64, threads: usize) -> (RunSummary, u64, bool) {
     let mut rt = Runtime::homogeneous(pes);
+    rt.set_parallel_threads(threads);
     let arr = rt.create_array::<Ping>("ping");
     for k in 0..pairs {
         let a = (2 * k) as i64;
@@ -158,7 +174,7 @@ fn run_ping_pipe(pes: usize, pairs: usize, limit: u64) -> (RunSummary, u64) {
     }
     let s = rt.run();
     let d = fold_digest(&rt.state_digest());
-    (s, d)
+    (s, d, rt.last_run_parallel())
 }
 
 // ---------------------------------------------------------------------------
@@ -232,8 +248,9 @@ impl Chare for Source {
     }
 }
 
-fn run_tram_flood(pes: usize, items_per_source: u64) -> (RunSummary, u64) {
+fn run_tram_flood(pes: usize, items_per_source: u64, threads: usize) -> (RunSummary, u64, bool) {
     let mut rt = Runtime::homogeneous(pes);
+    rt.set_parallel_threads(threads);
     let sinks = rt.create_array::<Sink>("sinks");
     for pe in 0..pes {
         for s in 0..SINKS_PER_PE {
@@ -265,52 +282,127 @@ fn run_tram_flood(pes: usize, items_per_source: u64) -> (RunSummary, u64) {
     }
     let s = rt.run();
     let d = fold_digest(&rt.state_digest());
-    (s, d)
+    (s, d, rt.last_run_parallel())
 }
 
 // ---------------------------------------------------------------------------
 // app workloads
 // ---------------------------------------------------------------------------
 
-fn run_stencil(pes: usize, chares_per_pe: usize, steps: u64) -> (RunSummary, u64) {
+fn run_stencil(
+    pes: usize,
+    chares_per_pe: usize,
+    steps: u64,
+    threads: usize,
+) -> (RunSummary, u64, bool) {
     let mut cfg = stencil::StencilConfig::cloud_4k(presets::cloud(pes), chares_per_pe);
     cfg.steps = steps;
+    cfg.threads = threads;
     let (_run, mut rt) = stencil::run_with_runtime(cfg);
     let d = fold_digest(&rt.state_digest());
-    (rt.summary(), d)
+    let p = rt.last_run_parallel();
+    (rt.summary(), d, p)
 }
 
-fn run_leanmd(steps: u64) -> (RunSummary, u64) {
+fn run_leanmd(steps: u64, threads: usize) -> (RunSummary, u64, bool) {
     let cfg = leanmd::LeanMdConfig {
         steps,
+        threads,
         ..Default::default()
     };
     let (_run, mut rt) = leanmd::run_with_runtime(cfg);
     let d = fold_digest(&rt.state_digest());
-    (rt.summary(), d)
+    let p = rt.last_run_parallel();
+    (rt.summary(), d, p)
 }
 
-fn run_pdes(lps_per_pe: usize, windows: u64) -> (RunSummary, u64) {
+fn run_pdes(lps_per_pe: usize, windows: u64, threads: usize) -> (RunSummary, u64, bool) {
     let cfg = pdes::PdesConfig {
         lps_per_pe,
         windows,
+        threads,
         ..Default::default()
     };
     let (_run, mut rt) = pdes::run_with_runtime(cfg);
     let d = fold_digest(&rt.state_digest());
-    (rt.summary(), d)
+    let p = rt.last_run_parallel();
+    (rt.summary(), d, p)
 }
 
 // ---------------------------------------------------------------------------
 // driver
 // ---------------------------------------------------------------------------
 
-fn write_json(results: &[Measured]) -> std::io::Result<std::path::PathBuf> {
+/// One point of the multi-worker scaling matrix.
+struct ScalePoint {
+    threads: usize,
+    events_per_sec: f64,
+    speedup_vs_seq: f64,
+    went_parallel: bool,
+}
+
+struct Scaling {
+    name: &'static str,
+    points: Vec<ScalePoint>,
+}
+
+const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Measure the app workloads at 1/2/4/8 worker threads. Digest equality vs
+/// the sequential engine is asserted inside `measure` for every threaded
+/// point, so a scaling number can never come from a wrong answer.
+type WorkloadFn = Box<dyn Fn(usize) -> (RunSummary, u64, bool)>;
+
+fn scaling_matrix() -> Vec<Scaling> {
+    let apps: Vec<(&'static str, WorkloadFn)> = vec![
+        ("stencil2d", Box::new(|t| run_stencil(8, 4, 40, t))),
+        ("leanmd", Box::new(|t| run_leanmd(20, t))),
+        ("pdes", Box::new(|t| run_pdes(64, 16, t))),
+    ];
+    println!("== parallel scaling (events/s at 1/2/4/8 worker threads)");
+    println!(
+        "  {:<12} {:>3} {:>14} {:>8} {:>5}",
+        "workload", "thr", "events/s", "speedup", "par"
+    );
+    let mut out = Vec::new();
+    for (name, run) in apps {
+        let mut points: Vec<ScalePoint> = Vec::new();
+        for t in SCALING_THREADS {
+            let m = measure(name, t, &run);
+            let seq_eps = points.first().map_or(m.events_per_sec(), |p| p.events_per_sec);
+            let point = ScalePoint {
+                threads: t,
+                events_per_sec: m.events_per_sec(),
+                speedup_vs_seq: m.events_per_sec() / seq_eps,
+                went_parallel: m.went_parallel,
+            };
+            assert_eq!(
+                m.went_parallel,
+                t > 1,
+                "{name} at {t} threads: unexpected engine selection"
+            );
+            println!(
+                "  {:<12} {:>3} {:>14.0} {:>7.2}x {:>5}",
+                name,
+                t,
+                point.events_per_sec,
+                point.speedup_vs_seq,
+                if point.went_parallel { "yes" } else { "no" },
+            );
+            points.push(point);
+        }
+        out.push(Scaling { name, points });
+    }
+    out
+}
+
+fn write_json(results: &[Measured], scaling: &[Scaling]) -> std::io::Result<std::path::PathBuf> {
     // CARGO_MANIFEST_DIR = crates/bench → ../../BENCH_engine.json
     let root = match std::env::var("CARGO_MANIFEST_DIR") {
         Ok(m) => std::path::PathBuf::from(m).join("../.."),
         Err(_) => std::path::PathBuf::from("."),
     };
+    let host_cores = std::thread::available_parallelism().map_or(0, |n| n.get());
     let path = root.join("BENCH_engine.json");
     let mut j = String::new();
     let _ = writeln!(j, "{{");
@@ -318,8 +410,9 @@ fn write_json(results: &[Measured]) -> std::io::Result<std::path::PathBuf> {
     let _ = writeln!(j, "  \"mode\": \"full\",");
     let _ = writeln!(
         j,
-        "  \"note\": \"wall-clock engine throughput; baseline_events_per_sec was recorded on the same workload matrix before the PR 4 hot-path optimizations\","
+        "  \"note\": \"wall-clock engine throughput; baseline_events_per_sec was recorded on the same workload matrix before the PR 4 hot-path optimizations; parallel_scaling measures the sharded multi-worker engine (byte-identical results, digest-checked) and is bounded by host_cores\","
     );
+    let _ = writeln!(j, "  \"host_cores\": {host_cores},");
     let _ = writeln!(j, "  \"workloads\": [");
     for (i, m) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
@@ -345,6 +438,24 @@ fn write_json(results: &[Measured]) -> std::io::Result<std::path::PathBuf> {
         let _ = writeln!(j, "      \"final_state_digest\": \"{:#018x}\"", m.digest);
         let _ = writeln!(j, "    }}{comma}");
     }
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"parallel_scaling\": [");
+    for (i, sc) in scaling.iter().enumerate() {
+        let comma = if i + 1 < scaling.len() { "," } else { "" };
+        let _ = writeln!(j, "    {{");
+        let _ = writeln!(j, "      \"name\": \"{}\",", sc.name);
+        let _ = writeln!(j, "      \"points\": [");
+        for (k, p) in sc.points.iter().enumerate() {
+            let pc = if k + 1 < sc.points.len() { "," } else { "" };
+            let _ = writeln!(
+                j,
+                "        {{\"threads\": {}, \"events_per_sec\": {:.1}, \"speedup_vs_seq\": {:.3}, \"went_parallel\": {}}}{pc}",
+                p.threads, p.events_per_sec, p.speedup_vs_seq, p.went_parallel
+            );
+        }
+        let _ = writeln!(j, "      ]");
+        let _ = writeln!(j, "    }}{comma}");
+    }
     let _ = writeln!(j, "  ]");
     let _ = writeln!(j, "}}");
     std::fs::write(&path, j)?;
@@ -352,40 +463,49 @@ fn write_json(results: &[Measured]) -> std::io::Result<std::path::PathBuf> {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--threads takes an integer"))
+        .unwrap_or(1);
 
     let results: Vec<Measured> = if smoke {
         vec![
-            measure("ping_pipe", || run_ping_pipe(8, 8, 400)),
-            measure("tram_flood", || run_tram_flood(8, 800)),
-            measure("stencil2d", || run_stencil(8, 2, 4)),
-            measure("leanmd", || run_leanmd(2)),
-            measure("pdes", || run_pdes(32, 4)),
+            measure("ping_pipe", threads, |t| run_ping_pipe(8, 8, 400, t)),
+            measure("tram_flood", threads, |t| run_tram_flood(8, 800, t)),
+            measure("stencil2d", threads, |t| run_stencil(8, 2, 4, t)),
+            measure("leanmd", threads, |t| run_leanmd(2, t)),
+            measure("pdes", threads, |t| run_pdes(32, 4, t)),
         ]
     } else {
         vec![
-            measure("ping_pipe", || run_ping_pipe(8, 64, 10_000)),
-            measure("tram_flood", || run_tram_flood(16, 30_000)),
-            measure("stencil2d", || run_stencil(16, 8, 120)),
-            measure("leanmd", || run_leanmd(60)),
-            measure("pdes", || run_pdes(192, 40)),
+            measure("ping_pipe", threads, |t| run_ping_pipe(8, 64, 10_000, t)),
+            measure("tram_flood", threads, |t| run_tram_flood(16, 30_000, t)),
+            measure("stencil2d", threads, |t| run_stencil(16, 8, 120, t)),
+            measure("leanmd", threads, |t| run_leanmd(60, t)),
+            measure("pdes", threads, |t| run_pdes(192, 40, t)),
         ]
     };
 
     println!(
-        "== engine_bench ({}) — wall-clock engine throughput",
-        if smoke { "smoke" } else { "full" }
+        "== engine_bench ({}, {} thread{}) — wall-clock engine throughput",
+        if smoke { "smoke" } else { "full" },
+        threads,
+        if threads == 1 { "" } else { "s" },
     );
     println!(
-        "  {:<12} {:>12} {:>12} {:>9} {:>14} {:>14} {:>9}",
-        "workload", "events", "messages", "wall", "events/s", "msgs/s", "vs base"
+        "  {:<12} {:>12} {:>12} {:>9} {:>14} {:>14} {:>9} {:>5}",
+        "workload", "events", "messages", "wall", "events/s", "msgs/s", "vs base", "par"
     );
     for m in &results {
         let speedup = baseline_for(m.name)
             .map(|b| format!("{:.2}x", m.events_per_sec() / b))
             .unwrap_or_else(|| "-".into());
         println!(
-            "  {:<12} {:>12} {:>12} {:>9} {:>14.0} {:>14.0} {:>9}",
+            "  {:<12} {:>12} {:>12} {:>9} {:>14.0} {:>14.0} {:>9} {:>5}",
             m.name,
             m.events,
             m.messages,
@@ -393,14 +513,33 @@ fn main() {
             m.events_per_sec(),
             m.msgs_per_sec(),
             speedup,
+            if m.went_parallel { "yes" } else { "no" },
         );
+    }
+    if threads > 1 {
+        assert!(
+            results.iter().any(|m| m.went_parallel),
+            "--threads {threads}: no workload took the parallel path — eligibility regressed"
+        );
+        println!("  (digest equality vs sequential engine verified for every workload)");
     }
 
     if smoke {
         println!("  (smoke mode: BENCH_engine.json not rewritten)");
         return;
     }
-    match write_json(&results) {
+    if threads > 1 {
+        println!("  (--threads {threads}: BENCH_engine.json not rewritten; sequential fields stay canonical)");
+        return;
+    }
+
+    // Multi-worker scaling matrix on the app workloads (smaller sizes than
+    // the throughput matrix so the full bench stays tractable): events/s at
+    // 1/2/4/8 workers plus speedup over the same-size sequential run, with
+    // the byte-identical digest contract asserted at every point.
+    let scaling = scaling_matrix();
+
+    match write_json(&results, &scaling) {
         Ok(p) => println!("  -> {}", p.display()),
         Err(e) => {
             eprintln!("failed to write BENCH_engine.json: {e}");

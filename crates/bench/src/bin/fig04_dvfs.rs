@@ -34,6 +34,8 @@ fn config(scheme: DvfsScheme, with_lb: bool, scale: Scale) -> StencilConfig {
         seed: 42,
         record: None,
         perturb: None,
+        trace: None,
+        threads: 1,
     }
 }
 

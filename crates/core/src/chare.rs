@@ -11,9 +11,14 @@ use charm_pup::{Pup, Puper};
 /// [`Pup::pup`] traverses, which is what makes it migratable, checkpointable,
 /// and recoverable. `Default` plays the role of Charm++'s migration
 /// constructor: the runtime default-constructs and then unpacks.
-pub trait Chare: Pup + Default + 'static {
+///
+/// `Send` (on the chare and its message type) is what lets the parallel
+/// engine shard arrays across OS worker threads; chare state is plain data
+/// (it must be, to be `Pup`), so the bound is structural rather than
+/// restrictive.
+pub trait Chare: Pup + Default + Send + 'static {
     /// The message type this chare's entry method accepts.
-    type Msg: Pup + 'static;
+    type Msg: Pup + Send + 'static;
 
     /// The asynchronous entry method: invoked by the scheduler when a
     /// message for this chare is picked from the PE's queue.

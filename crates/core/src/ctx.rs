@@ -19,14 +19,14 @@ use std::any::Any;
 pub(crate) enum Action {
     Send {
         dst: ObjId,
-        payload: Box<dyn Any>,
+        payload: Box<dyn Any + Send>,
         bytes: usize,
         prio: i64,
         delay: SimTime,
     },
     Broadcast {
         array: ArrayId,
-        make: Box<dyn Fn() -> Box<dyn Any>>,
+        make: Box<dyn Fn() -> Box<dyn Any + Send> + Send>,
         bytes: usize,
         prio: i64,
     },
@@ -44,7 +44,7 @@ pub(crate) enum Action {
     Insert {
         array: ArrayId,
         ix: Ix,
-        chare: Box<dyn Any>,
+        chare: Box<dyn Any + Send>,
         pe: Option<usize>,
     },
     DestroyMe,
@@ -166,7 +166,7 @@ impl<'rt> Ctx<'rt> {
         let bytes = charm_pup::packed_size(&mut probe) + crate::ENVELOPE_BYTES;
         self.actions.push(Action::Broadcast {
             array: array.id,
-            make: Box::new(move || Box::new(msg.clone()) as Box<dyn Any>),
+            make: Box::new(move || Box::new(msg.clone()) as Box<dyn Any + Send>),
             bytes,
             prio: 0,
         });

@@ -23,7 +23,7 @@
 
 use crate::array::ObjId;
 use crate::chare::{Callback, SysEvent};
-use crate::runtime::{Ev, Runtime, Unrecoverable, ENVELOPE_BYTES};
+use crate::runtime::{Ev, Runtime, Unrecoverable, ENVELOPE_BYTES, TOKEN_AUX};
 use crate::trace::TraceEventKind;
 use charm_machine::SimTime;
 use std::collections::{BTreeMap, HashSet};
@@ -127,7 +127,8 @@ impl Runtime {
         // per-PE volume shrinks (paper Fig. 8-right, Fig. 10).
         let max_bytes = per_pe.iter().copied().max().unwrap_or(0);
         let transfer = if self.live_pes > 1 {
-            self.net.delay(0, 1, max_bytes + ENVELOPE_BYTES)
+            self.net
+                .delay(0, 1, max_bytes + ENVELOPE_BYTES, self.cur_dispatch.1 ^ TOKEN_AUX)
         } else {
             SimTime::ZERO
         };
@@ -155,7 +156,7 @@ impl Runtime {
             cb,
             done,
         });
-        self.events.push(done, Ev::CkptCommit);
+        self.push_ev(done, Ev::CkptCommit);
         self.block_all_pes(done);
         self.metrics
             .entry("ckpt_time_s".into())
@@ -205,13 +206,19 @@ impl Runtime {
         if self.ckpt_pending.is_none() {
             self.start_mem_checkpoint(Callback::Ignore, self.now);
         }
-        self.events.push(self.now + interval, Ev::AutoCkpt);
+        let at = self.now + interval;
+        self.push_ev(at, Ev::AutoCkpt);
     }
 
     /// Cost of one spanning-tree barrier over the live PEs.
     pub(crate) fn barrier_cost(&mut self) -> SimTime {
         let depth = self.tree_depth();
-        let hop = self.net.delay(0, 1.min(self.live_pes - 1), ENVELOPE_BYTES);
+        let hop = self.net.delay(
+            0,
+            1.min(self.live_pes - 1),
+            ENVELOPE_BYTES,
+            self.cur_dispatch.1 ^ TOKEN_AUX,
+        );
         SimTime(hop.0 * depth)
     }
 
@@ -220,7 +227,7 @@ impl Runtime {
     pub(crate) fn block_all_pes(&mut self, until: SimTime) {
         for pe in 0..self.live_pes {
             self.pes[pe].blocked_until = self.pes[pe].blocked_until.max(until);
-            self.events.push(until, Ev::PeRetry { pe });
+            self.push_ev(until, Ev::PeRetry { pe });
         }
     }
 
@@ -361,8 +368,12 @@ impl Runtime {
             .map(|&p| {
                 let bytes = ckpt.per_pe_bytes.get(p).copied().unwrap_or(0);
                 if self.live_pes > 1 {
-                    self.net
-                        .delay(buddy_pe(p, ckpt.num_pes), p, bytes + ENVELOPE_BYTES)
+                    self.net.delay(
+                        buddy_pe(p, ckpt.num_pes),
+                        p,
+                        bytes + ENVELOPE_BYTES,
+                        self.cur_dispatch.1 ^ TOKEN_AUX,
+                    )
                 } else {
                     SimTime::ZERO
                 }
@@ -466,19 +477,17 @@ impl Runtime {
     /// execution, and in-flight checkpoint state), keeping hardware-driven
     /// events (failures, DVFS ticks, reconfigurations, checkpoint ticks).
     fn purge_volatile_events(&mut self) {
-        let mut keep = Vec::new();
-        while let Some((t, ev)) = self.events.pop() {
+        // Preserve each surviving event's heap key: keys encode the
+        // producer slot and feed the deterministic tie-break order.
+        for (t, k, ev) in self.events.drain_entries() {
             match ev {
                 Ev::Deliver { .. }
                 | Ev::PeFree { .. }
                 | Ev::PeRetry { .. }
                 | Ev::MigrateArrive(_)
                 | Ev::CkptCommit => {}
-                other => keep.push((t, other)),
+                other => self.events.push_keyed(t, k, other),
             }
-        }
-        for (t, ev) in keep {
-            self.events.push(t, ev);
         }
     }
 
@@ -609,7 +618,8 @@ impl Runtime {
     /// Inject a failure of the node containing `pe` at virtual time `at`
     /// (on top of any failures already in the machine's `FailurePlan`).
     pub fn schedule_failure(&mut self, at: SimTime, pe: usize) {
-        self.events.push(at, Ev::NodeFail { pe });
+        let k = self.fresh_key(self.host_slot());
+        self.events.push_keyed(at, k, Ev::NodeFail { pe });
     }
 }
 

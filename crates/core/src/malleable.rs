@@ -64,7 +64,8 @@ impl Runtime {
                 self.route_and_schedule(env, self.now);
             }
             let transfer = if moved_bytes_max > 0 {
-                self.net.delay(old - 1, 0, moved_bytes_max)
+                let token = self.cur_dispatch.1 ^ crate::runtime::TOKEN_AUX;
+                self.net.delay(old - 1, 0, moved_bytes_max, token)
             } else {
                 SimTime::ZERO
             };

@@ -1,0 +1,765 @@
+//! The parallel multi-worker engine: shard the simulated PEs across OS
+//! worker threads, synchronized by conservative lookahead windows.
+//!
+//! ## How it stays byte-identical to sequential execution
+//!
+//! The sequential engine already executes in windows of width α (the
+//! minimum cross-PE network latency, [`Runtime::win_ns`]): all events with
+//! `t < W` run before any window-boundary work (reduction folds, state
+//! digests) at `W`. Because every cross-PE message is delayed by at least
+//! α, an event executing inside window `[W-α, W)` can only schedule
+//! *remote* work at `t ≥ W` — after the boundary. That lookahead is the
+//! license to parallelize: shard the PEs, let each worker drain the same
+//! window on its own event heap, and exchange cross-shard messages at the
+//! barrier. Nothing a shard does inside a window can affect another shard
+//! within that window.
+//!
+//! Determinism then reduces to ordering. Every event carries a globally
+//! unique key allocated from its *producer's* key slot
+//! ([`Runtime::fresh_key`]): shards own disjoint slots, so they allocate
+//! exactly the keys the sequential engine would, with no coordination.
+//! Each shard's heap pops in `(time, key)` order — the same total order the
+//! sequential heap uses — so merging shard streams by `(time, key)`
+//! reproduces the sequential dispatch sequence exactly. Reductions fold at
+//! window boundaries in `(dispatch time, dispatch key)` order of their
+//! contributing entries, on shard 0, which owns the reduction key slot.
+//!
+//! Everything observable — chare states, event keys, virtual times, trace
+//! buffers, replay logs, metric journals — is merged back in that dispatch
+//! order after the run, so `run()` with N workers produces bit-for-bit the
+//! state and artifacts of `run()` with one.
+//!
+//! ## What parallel mode refuses
+//!
+//! Features that move or create chares mid-run (migration, LB, dynamic
+//! insertion), observe global instantaneous state (quiescence detection),
+//! or drive RTS machinery from timers (DVFS, auto-checkpointing, injected
+//! failures) are sequential-only. [`Runtime::parallel_plan`] detects them
+//! up front and falls back to the sequential engine silently; mid-run
+//! attempts (e.g. a chare calling `at_sync`) panic with a pointed message.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::array::{AnyArray, ObjId};
+use crate::ctrl::ControlRegistry;
+use crate::replay::Recorder;
+use crate::runtime::{ContribRec, Envelope, Ev, PeState, RunSummary, Runtime, SLOT_HOST};
+use crate::trace::Tracer;
+use crate::Ix;
+use charm_machine::{EventQueue, SimTime};
+use fxhash::FxHashMap;
+
+/// Process-wide default for [`crate::RuntimeBuilder::threads`].
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Default worker-thread count new runtimes start with (1 = sequential).
+pub fn default_threads() -> usize {
+    DEFAULT_THREADS.load(Ordering::Relaxed).max(1)
+}
+
+/// Set the process-wide default worker-thread count picked up by
+/// [`crate::RuntimeBuilder`]s constructed afterwards. Lets drivers and
+/// tests opt whole programs into parallel execution without threading a
+/// parameter through every builder call site.
+pub fn set_default_threads(n: usize) {
+    DEFAULT_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Frozen global element-location table shared by every shard. Locations
+/// cannot change during a parallel run (migration and insertion are
+/// sequential-only), so one immutable snapshot answers all routing,
+/// broadcast-enumeration, and reduction-size queries.
+pub(crate) struct LocTable {
+    locs: FxHashMap<ObjId, (usize, u32)>,
+    /// Element count per array (indexed by array id).
+    lens: Vec<usize>,
+    /// Sorted `(index, pe)` pairs per array (indexed by array id).
+    targets: Vec<Vec<(Ix, usize)>>,
+}
+
+impl LocTable {
+    pub(crate) fn locate(&self, obj: ObjId) -> Option<(usize, u32)> {
+        self.locs.get(&obj).copied()
+    }
+
+    pub(crate) fn array_len(&self, array: crate::ArrayId) -> usize {
+        self.lens.get(array.0 as usize).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn targets(&self, array: crate::ArrayId) -> Vec<(Ix, usize)> {
+        self.targets
+            .get(array.0 as usize)
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+/// Per-shard state hung off a shard runtime's `par` field. Its presence is
+/// what switches [`Runtime`] internals into shard mode.
+pub(crate) struct ParShard {
+    /// This shard's index.
+    pub(crate) shard: usize,
+    /// First PE this shard owns.
+    pub(crate) lo: usize,
+    /// One past the last PE this shard owns.
+    pub(crate) hi: usize,
+    /// Every shard's `[lo, hi)` range, for routing outbound deliveries.
+    bounds: Arc<Vec<(usize, usize)>>,
+    /// The run-global frozen location table.
+    pub(crate) loc: Arc<LocTable>,
+    /// Cross-shard deliveries produced this window, per destination shard;
+    /// moved into the shared exchange at the window barrier.
+    pub(crate) outbox: Vec<Vec<(SimTime, usize, Box<Envelope>)>>,
+}
+
+impl ParShard {
+    /// Which shard owns a PE.
+    pub(crate) fn shard_of(&self, pe: usize) -> usize {
+        self.bounds
+            .iter()
+            .position(|&(lo, hi)| pe >= lo && pe < hi)
+            .expect("PE outside every shard")
+    }
+}
+
+/// Everything [`Runtime::run_parallel`] needs that eligibility analysis
+/// already computed.
+pub(crate) struct ParPlan {
+    shards: usize,
+    bounds: Vec<(usize, usize)>,
+    loc: Arc<LocTable>,
+}
+
+/// A [`Condvar`] barrier with poisoning: when a worker panics it poisons
+/// the barrier instead of leaving the others blocked forever, so the panic
+/// (e.g. "at_sync is sequential-only") propagates to the caller promptly.
+struct PoisonBarrier {
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+    n: usize,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+/// Marker returned from [`PoisonBarrier::wait`] when another worker died.
+struct Poisoned;
+
+impl PoisonBarrier {
+    fn new(n: usize) -> Self {
+        PoisonBarrier {
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+            n,
+        }
+    }
+
+    fn wait(&self) -> Result<(), Poisoned> {
+        let mut g = self.state.lock().expect("barrier lock");
+        if g.poisoned {
+            return Err(Poisoned);
+        }
+        g.arrived += 1;
+        if g.arrived == self.n {
+            g.arrived = 0;
+            g.generation += 1;
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let gen = g.generation;
+        while g.generation == gen && !g.poisoned {
+            g = self.cv.wait(g).expect("barrier wait");
+        }
+        if g.poisoned {
+            Err(Poisoned)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn poison(&self) {
+        self.state.lock().expect("barrier lock").poisoned = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Shared inter-worker exchange for one parallel run.
+struct Shared {
+    /// `inbox[to][from]`: cross-shard deliveries moved out of `from`'s
+    /// outbox at its window barrier, awaiting ingestion by `to`.
+    #[allow(clippy::type_complexity)]
+    inbox: Vec<Vec<Mutex<Vec<(SimTime, usize, Box<Envelope>)>>>>,
+    /// Per shard: earliest pending virtual time (own heap ∪ own outbox) as
+    /// of its last publish; `u64::MAX` = nothing pending.
+    next_time: Vec<AtomicU64>,
+    /// Per shard: entries executed so far (drives digest-point scheduling).
+    execs: Vec<AtomicU64>,
+    /// Per shard: buffered reduction contributions were published this round.
+    has_contribs: Vec<AtomicBool>,
+    /// Per shard: a chare requested exit during the last window.
+    wants_exit: Vec<AtomicBool>,
+    /// Contributions awaiting the boundary fold (consumed by shard 0).
+    contrib_slots: Vec<Mutex<Vec<ContribRec>>>,
+    /// Per-shard state digests of one due digest point (merged by shard 0).
+    digest_slots: Vec<Mutex<Vec<(ObjId, u64)>>>,
+    /// Global executed-entry count at the last emitted digest point.
+    last_digest: AtomicU64,
+    barrier: PoisonBarrier,
+}
+
+impl Runtime {
+    /// Decide whether the pending run can execute on the sharded engine,
+    /// and build the frozen location table and shard layout if so. `None`
+    /// means "fall back to the sequential engine" — always safe, because
+    /// both engines produce identical results when both can run.
+    pub(crate) fn parallel_plan(&mut self) -> Option<ParPlan> {
+        let n = self.machine.num_pes;
+        let shards = self.threads.min(n);
+        if shards < 2 || n < 2 || self.live_pes != n {
+            return None;
+        }
+        // The conservative window is the minimum cross-PE latency; a
+        // zero-latency fabric leaves no lookahead to exploit.
+        if self.net.min_remote_delay().0 == 0 {
+            return None;
+        }
+        if self.thermal.is_some()
+            || self.perturb.is_some()
+            || self.qd.is_some()
+            || self.ckpt_pending.is_some()
+            || self.auto_ckpt_interval.is_some()
+            || self.track_comm
+            || self.exit_requested
+            || self.max_events != u64::MAX
+            || !self.limbo.is_empty()
+            || !self.pending_contribs.is_empty()
+            || self.queued != 0
+            || self.busy_pes != 0
+        {
+            return None;
+        }
+        if self.pes[..n].iter().any(|p| {
+            !p.alive
+                || p.busy
+                || p.current.is_some()
+                || !p.pending.is_empty()
+                || p.blocked_until > self.now
+        }) {
+            return None;
+        }
+        if self.events.is_empty() {
+            return None;
+        }
+        // The heap must hold only plain deliveries: scheduled failures,
+        // DVFS ticks, reconfigurations, LB rounds, and in-flight
+        // migrations/checkpoints are all sequential-only machinery.
+        let entries = self.events.drain_entries();
+        let all_deliver = entries
+            .iter()
+            .all(|(_, _, ev)| matches!(ev, Ev::Deliver { .. }));
+        for (t, k, ev) in entries {
+            self.events.push_keyed(t, k, ev);
+        }
+        if !all_deliver {
+            return None;
+        }
+        // Freeze the location table.
+        let mut locs = FxHashMap::default();
+        let mut lens = Vec::with_capacity(self.stores.len());
+        let mut targets = Vec::with_capacity(self.stores.len());
+        for s in &self.stores {
+            let id = s.id();
+            let mut tv = Vec::new();
+            for ix in s.indices() {
+                let (pe, ep) = s.locate(&ix)?;
+                locs.insert(ObjId { array: id, ix }, (pe, ep));
+                tv.push((ix, pe));
+            }
+            lens.push(s.len());
+            targets.push(tv);
+        }
+        // Stale location-cache entries would need the sequential
+        // forwarding path (deliver to the old PE, re-route from there);
+        // a shard cannot host that dance for elements it doesn't own.
+        for cache in &self.loc_cache {
+            for (obj, &(pe, ep)) in cache {
+                if locs.get(obj) != Some(&(pe, ep)) {
+                    return None;
+                }
+            }
+        }
+        let bounds: Vec<(usize, usize)> = (0..shards)
+            .map(|s| (s * n / shards, (s + 1) * n / shards))
+            .collect();
+        Some(ParPlan {
+            shards,
+            bounds,
+            loc: Arc::new(LocTable {
+                locs,
+                lens,
+                targets,
+            }),
+        })
+    }
+
+    /// Execute a deadline-free run on `plan.shards` worker threads.
+    /// Produces bit-identical state and artifacts to [`Runtime::run_seq_until`]
+    /// with `deadline == SimTime::MAX`.
+    pub(crate) fn run_parallel(&mut self, plan: ParPlan) -> RunSummary {
+        let wall_start = std::time::Instant::now();
+        let ParPlan {
+            shards,
+            bounds,
+            loc,
+        } = plan;
+        let n = self.machine.num_pes;
+        self.ctrl_snapshot = self.ctrl.snapshot();
+
+        // The run's first boundary happens here, exactly as the sequential
+        // loop's first iteration would: no contributions can be pending
+        // (eligibility), but a state-digest point may be due from before.
+        let t0 = self.events.peek_time().expect("plan requires events");
+        let w0 = if t0 >= self.cur_win_end {
+            self.boundary_work();
+            self.win_end_after(t0)
+        } else {
+            // Resuming inside a partially drained window (a previous
+            // deadline-bounded run stopped mid-window): finish it first.
+            self.cur_win_end
+        };
+
+        let digest_every = self.recorder.as_ref().and_then(|r| r.cfg.digest_every);
+        let exec_offset = self.recorder.as_ref().map_or(0, |r| r.execs_len());
+
+        // ----- split ---------------------------------------------------------
+        let bounds_arc = Arc::new(bounds.clone());
+        let mut shard_events: Vec<Vec<(SimTime, u64, Ev)>> =
+            (0..shards).map(|_| Vec::new()).collect();
+        for (t, k, ev) in self.events.drain_entries() {
+            let Ev::Deliver { pe, env } = ev else {
+                unreachable!("plan admitted a non-delivery event");
+            };
+            let s = bounds
+                .iter()
+                .position(|&(lo, hi)| pe >= lo && pe < hi)
+                .expect("PE in some shard");
+            shard_events[s].push((t, k, Ev::Deliver { pe, env }));
+        }
+        self.inflight = 0; // redistributed to the shards; restored at merge
+
+        let mut reductions_all = Some(std::mem::take(&mut self.reductions));
+        let mut shard_rts: Vec<Runtime> = Vec::with_capacity(shards);
+        for (s, evs) in shard_events.into_iter().enumerate() {
+            let (lo, hi) = bounds[s];
+            let mut events = EventQueue::with_capacity(evs.len().max(8));
+            for (t, k, ev) in evs {
+                events.push_keyed(t, k, ev);
+            }
+            let inflight = events.len() as u64;
+            let mut pes: Vec<PeState> = (0..n).map(|_| PeState::new()).collect();
+            for (pe, slot) in pes.iter_mut().enumerate().take(hi).skip(lo) {
+                *slot = std::mem::replace(&mut self.pes[pe], PeState::new());
+            }
+            let stores: Vec<Box<dyn AnyArray>> = self
+                .stores
+                .iter_mut()
+                .map(|st| st.split_off_pes(lo, hi))
+                .collect();
+            shard_rts.push(Runtime {
+                machine: self.machine.clone(),
+                net: self.net.fresh_counters_clone(),
+                now: self.now,
+                events,
+                pes,
+                live_pes: n,
+                stores,
+                home_maps: self.home_maps.clone(),
+                array_names: self.array_names.clone(),
+                rngs: self.rngs.clone(),
+                ctrl: ControlRegistry::new(),
+                ctrl_snapshot: self.ctrl_snapshot.clone(),
+                loc_cache: self.loc_cache.clone(),
+                limbo: FxHashMap::default(),
+                // Shard 0 owns reduction state: it performs the boundary
+                // folds and allocates from the reduction key slot.
+                reductions: if s == 0 {
+                    reductions_all.take().expect("taken once")
+                } else {
+                    FxHashMap::default()
+                },
+                qd: None,
+                inflight,
+                queued: 0,
+                busy_pes: 0,
+                lb: None,
+                lb_trigger: self.lb_trigger,
+                at_sync_seen: 0,
+                lb_rounds: Vec::new(),
+                mem_ckpt: None,
+                ckpt_pending: None,
+                copy_missing: FxHashMap::default(),
+                auto_ckpt_interval: None,
+                unrecoverable: None,
+                thermal: None,
+                dvfs: self.dvfs,
+                dvfs_period: self.dvfs_period,
+                last_rts_lb: self.last_rts_lb,
+                chip_busy: vec![SimTime::ZERO; self.chip_busy.len()],
+                sched_overhead: self.sched_overhead,
+                metrics: FxHashMap::default(),
+                entries: 0,
+                messages: 0,
+                bytes_moved: 0,
+                events_processed: 0,
+                wall_run: std::time::Duration::ZERO,
+                action_scratch: Vec::new(),
+                exit_requested: false,
+                max_events: u64::MAX,
+                seed: self.seed,
+                location_cache: self.location_cache,
+                collective_arity: self.collective_arity,
+                track_comm: false,
+                comm: FxHashMap::default(),
+                tracer: self
+                    .tracer
+                    .as_ref()
+                    .map(|tr| Tracer::new(tr.config().clone(), n)),
+                recorder: self.recorder.as_ref().map(|r| Recorder::new(r.cfg.clone())),
+                perturb: None,
+                keys: self.keys.clone(),
+                cur_slot: n + SLOT_HOST,
+                cur_dispatch: (0, 0),
+                pending_contribs: Vec::new(),
+                cur_win_end: w0,
+                win_ns: self.win_ns,
+                last_digest_seq: 0,
+                par: Some(Box::new(ParShard {
+                    shard: s,
+                    lo,
+                    hi,
+                    bounds: bounds_arc.clone(),
+                    loc: loc.clone(),
+                    outbox: (0..shards).map(|_| Vec::new()).collect(),
+                })),
+                threads: 1,
+                metrics_buf: Vec::new(),
+                last_run_parallel: false,
+                reconfig_overhead_shrink: self.reconfig_overhead_shrink,
+                reconfig_overhead_expand: self.reconfig_overhead_expand,
+            });
+        }
+
+        // ----- run -----------------------------------------------------------
+        let shared = Shared {
+            inbox: (0..shards)
+                .map(|_| (0..shards).map(|_| Mutex::new(Vec::new())).collect())
+                .collect(),
+            next_time: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            execs: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            has_contribs: (0..shards).map(|_| AtomicBool::new(false)).collect(),
+            wants_exit: (0..shards).map(|_| AtomicBool::new(false)).collect(),
+            contrib_slots: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+            digest_slots: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+            last_digest: AtomicU64::new(self.last_digest_seq),
+            barrier: PoisonBarrier::new(shards),
+        };
+
+        let results: Vec<std::thread::Result<Runtime>> = std::thread::scope(|scope| {
+            let shared = &shared;
+            let handles: Vec<_> = shard_rts
+                .into_iter()
+                .enumerate()
+                .map(|(s, rt)| {
+                    scope.spawn(move || {
+                        let out = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            worker(rt, shared, shards, s, exec_offset, digest_every)
+                        }));
+                        if out.is_err() {
+                            shared.barrier.poison();
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread itself never panics"))
+                .collect()
+        });
+        let mut shard_results = Vec::with_capacity(shards);
+        let mut panic_payload = None;
+        for r in results {
+            match r {
+                Ok(rt) => shard_results.push(rt),
+                Err(p) => panic_payload = Some(p),
+            }
+        }
+        if let Some(p) = panic_payload {
+            // Re-raise the worker's panic (e.g. "at_sync is sequential-
+            // only") with its original message.
+            std::panic::resume_unwind(p);
+        }
+
+        // ----- merge ---------------------------------------------------------
+        let mut any_exit = false;
+        let mut final_now = self.now;
+        let mut final_win = self.cur_win_end;
+        let mut shard_recorders = Vec::new();
+        for mut rt in shard_results {
+            let par = rt.par.take().expect("shard mode");
+            let (lo, hi) = (par.lo, par.hi);
+            for pe in lo..hi {
+                self.pes[pe] = std::mem::replace(&mut rt.pes[pe], PeState::new());
+                std::mem::swap(&mut self.rngs[pe], &mut rt.rngs[pe]);
+                std::mem::swap(&mut self.loc_cache[pe], &mut rt.loc_cache[pe]);
+                self.keys[pe] = rt.keys[pe];
+            }
+            if par.shard == 0 {
+                let red = self.red_slot();
+                self.keys[red] = rt.keys[red];
+                self.reductions = std::mem::take(&mut rt.reductions);
+            }
+            for (a, st) in rt.stores.drain(..).enumerate() {
+                self.stores[a].absorb(st);
+            }
+            // Any residual outbox items (possible only on an exit break)
+            // re-enter the global heap like every other pending delivery.
+            for ob in par.outbox {
+                for (t, pe, env) in ob {
+                    self.inflight += 1;
+                    let k = env.rec_id;
+                    self.events.push_keyed(t, k, Ev::Deliver { pe, env });
+                }
+            }
+            for (t, k, ev) in rt.events.drain_entries() {
+                self.events.push_keyed(t, k, ev);
+            }
+            self.inflight += rt.inflight;
+            self.queued += rt.queued;
+            self.busy_pes += rt.busy_pes;
+            self.entries += rt.entries;
+            self.messages += rt.messages;
+            self.bytes_moved += rt.bytes_moved;
+            self.events_processed += rt.events_processed;
+            for (c, b) in self.chip_busy.iter_mut().zip(&rt.chip_busy) {
+                *c += *b;
+            }
+            self.net.absorb_counters(&rt.net);
+            self.metrics_buf.append(&mut rt.metrics_buf);
+            self.pending_contribs.append(&mut rt.pending_contribs);
+            any_exit |= rt.exit_requested;
+            final_now = final_now.max(rt.now);
+            final_win = final_win.max(rt.cur_win_end);
+            if let Some(tr) = rt.tracer.take() {
+                self.tracer
+                    .as_mut()
+                    .expect("split was symmetric")
+                    .absorb_shard(tr, lo, hi);
+            }
+            if let Some(r) = rt.recorder.take() {
+                shard_recorders.push(r);
+            }
+        }
+        // Cross-shard deliveries still parked in the exchange (exit break).
+        for row in &shared.inbox {
+            for cell in row {
+                for (t, pe, env) in cell.lock().expect("inbox lock").drain(..) {
+                    self.inflight += 1;
+                    let k = env.rec_id;
+                    self.events.push_keyed(t, k, Ev::Deliver { pe, env });
+                }
+            }
+        }
+        // Contributions published but never folded (exit break).
+        for slot in &shared.contrib_slots {
+            self.pending_contribs
+                .append(&mut slot.lock().expect("contrib lock"));
+        }
+        if let Some(r) = &mut self.recorder {
+            r.absorb_shards(shard_recorders);
+        }
+        // Replay the buffered metric samples in global dispatch order — the
+        // order the sequential engine would have journaled them. The sort
+        // is stable, so samples from one entry keep their program order.
+        let mut buf = std::mem::take(&mut self.metrics_buf);
+        buf.sort_by_key(|m| m.dispatch);
+        for m in buf {
+            self.metrics
+                .entry(m.name)
+                .or_default()
+                .push((m.at_secs, m.value));
+        }
+        self.now = final_now;
+        self.cur_win_end = final_win;
+        self.exit_requested = any_exit;
+        self.last_digest_seq = shared.last_digest.load(Ordering::Relaxed);
+        self.last_run_parallel = true;
+        self.wall_run += wall_start.elapsed();
+        self.summary()
+    }
+}
+
+/// One worker: repeatedly drain a conservative window on the shard's own
+/// heap, then synchronize. Per round:
+///
+/// 1. **Publish** — compute the shard's earliest pending time (heap head ∪
+///    outbox) *before* moving the outbox into the shared exchange, so every
+///    in-flight message is counted by exactly one published horizon; post
+///    exec counts and contribution/exit flags.
+/// 2. **Barrier A**, then every worker reads all published values and
+///    derives identical decisions (exit? fold? digest? next window?).
+/// 3. **Boundary work** (only if some shard buffered contributions or a
+///    digest point is due): shard 0 folds all contributions in dispatch
+///    order and emits the merged digest point, then republishes its horizon
+///    (folding schedules callbacks). Bracketed by barriers B and C.
+/// 4. **Barrier D** ends the read phase — after it, no worker reads the
+///    published values again this round, so the next round's publishes
+///    cannot race them.
+/// 5. **Ingest** cross-shard deliveries and advance to the window after the
+///    global minimum time.
+///
+/// Cross-shard arrivals always land at or after the *end* of the window
+/// that produced them (delay ≥ α), so ingesting between barriers — even one
+/// round late on a racy interleaving of steps 5 and 1 — can never introduce
+/// an event into a window that has already been drained.
+fn worker(
+    mut rt: Runtime,
+    sh: &Shared,
+    shards: usize,
+    s: usize,
+    exec_offset: u64,
+    digest_every: Option<u64>,
+) -> Runtime {
+    let mut batch: Vec<(u64, Ev)> = Vec::new();
+    let mut w_end = rt.cur_win_end;
+    loop {
+        rt.drain_window(w_end, &mut batch);
+
+        // --- publish ---------------------------------------------------------
+        let mut local_min = rt.events.peek_time().map_or(u64::MAX, |t| t.0);
+        {
+            let par = rt.par.as_mut().expect("shard mode");
+            for (dst, ob) in par.outbox.iter_mut().enumerate() {
+                if ob.is_empty() {
+                    continue;
+                }
+                for (t, _, _) in ob.iter() {
+                    local_min = local_min.min(t.0);
+                }
+                sh.inbox[dst][s].lock().expect("inbox lock").append(ob);
+            }
+        }
+        let contribs_here = !rt.pending_contribs.is_empty();
+        if contribs_here {
+            sh.contrib_slots[s]
+                .lock()
+                .expect("contrib lock")
+                .append(&mut rt.pending_contribs);
+        }
+        sh.next_time[s].store(local_min, Ordering::Relaxed);
+        sh.execs[s].store(rt.entries, Ordering::Relaxed);
+        sh.has_contribs[s].store(contribs_here, Ordering::Relaxed);
+        sh.wants_exit[s].store(rt.exit_requested, Ordering::Relaxed);
+        if sh.barrier.wait().is_err() {
+            return rt; // another worker panicked; unwind quietly
+        }
+
+        // --- read + decide (identically on every worker) ---------------------
+        // A requested exit stops the run at the end of the current window,
+        // before any boundary work — the sequential loop's exact rule.
+        if (0..shards).any(|i| sh.wants_exit[i].load(Ordering::Relaxed)) {
+            return rt;
+        }
+        let any_contrib = (0..shards).any(|i| sh.has_contribs[i].load(Ordering::Relaxed));
+        let total_execs =
+            exec_offset + (0..shards).map(|i| sh.execs[i].load(Ordering::Relaxed)).sum::<u64>();
+        let digest_due = digest_every
+            .is_some_and(|every| total_execs - sh.last_digest.load(Ordering::Relaxed) >= every);
+        let mut t_min = (0..shards)
+            .map(|i| sh.next_time[i].load(Ordering::Relaxed))
+            .min()
+            .expect("at least one shard");
+
+        // --- boundary work ---------------------------------------------------
+        if any_contrib || digest_due {
+            if digest_due {
+                let d = rt.state_digest();
+                *sh.digest_slots[s].lock().expect("digest lock") = d;
+            }
+            if sh.barrier.wait().is_err() {
+                return rt;
+            }
+            if s == 0 {
+                let mut recs = Vec::new();
+                for slot in &sh.contrib_slots {
+                    recs.append(&mut slot.lock().expect("contrib lock"));
+                }
+                rt.pending_contribs = recs;
+                rt.fold_contributions();
+                if digest_due {
+                    let mut digests = Vec::new();
+                    for slot in &sh.digest_slots {
+                        digests.append(&mut slot.lock().expect("digest lock"));
+                    }
+                    // Global (array, index) order == the order the
+                    // sequential `state_digest` enumerates.
+                    digests.sort_unstable_by_key(|&(obj, _)| obj);
+                    if let Some(r) = &mut rt.recorder {
+                        r.push_state_point_at(total_execs, SimTime(w_end.0), digests);
+                    }
+                    sh.last_digest.store(total_execs, Ordering::Relaxed);
+                }
+                // Folding scheduled completion callbacks — to this shard's
+                // heap and to the outbox. Flush and republish the horizon.
+                let mut m = rt.events.peek_time().map_or(u64::MAX, |t| t.0);
+                let par = rt.par.as_mut().expect("shard mode");
+                for (dst, ob) in par.outbox.iter_mut().enumerate() {
+                    if ob.is_empty() {
+                        continue;
+                    }
+                    for (t, _, _) in ob.iter() {
+                        m = m.min(t.0);
+                    }
+                    sh.inbox[dst][0].lock().expect("inbox lock").append(ob);
+                }
+                sh.next_time[0].store(m, Ordering::Relaxed);
+            }
+            if sh.barrier.wait().is_err() {
+                return rt;
+            }
+            t_min = t_min.min(sh.next_time[0].load(Ordering::Relaxed));
+        }
+
+        // --- end of read phase -----------------------------------------------
+        if sh.barrier.wait().is_err() {
+            return rt;
+        }
+        if t_min == u64::MAX {
+            return rt; // globally drained
+        }
+
+        // --- ingest + advance ------------------------------------------------
+        for from in 0..shards {
+            let mut items = sh.inbox[s][from].lock().expect("inbox lock");
+            for (t, pe, env) in items.drain(..) {
+                rt.inflight += 1;
+                let k = env.rec_id;
+                rt.events.push_keyed(t, k, Ev::Deliver { pe, env });
+            }
+        }
+        w_end = SimTime(
+            (t_min / rt.win_ns)
+                .saturating_add(1)
+                .saturating_mul(rt.win_ns),
+        );
+    }
+}

@@ -108,7 +108,7 @@ impl Runtime {
         }
 
         let next = self.now + self.dvfs_period;
-        self.events.push(next, Ev::DvfsTick);
+        self.push_ev(next, Ev::DvfsTick);
     }
 
     /// An RTS-triggered LB round (no AtSync barrier involved): used by the
@@ -126,8 +126,9 @@ impl Runtime {
     /// starting one period from now (cloud scenarios, Fig. 16).
     pub fn schedule_periodic_lb(&mut self, period: SimTime, rounds: usize) {
         for k in 1..=rounds {
-            self.events
-                .push(SimTime(self.now.0 + period.0 * k as u64), Ev::RtsLb);
+            let at = SimTime(self.now.0 + period.0 * k as u64);
+            let key = self.fresh_key(self.host_slot());
+            self.events.push_keyed(at, key, Ev::RtsLb);
         }
     }
 }

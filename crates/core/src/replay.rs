@@ -251,6 +251,20 @@ fn red_value_digest(p: &mut charm_pup::Puper, v: &RedValue) {
     }
 }
 
+/// Where a recorded message came from.
+#[derive(Clone, Copy)]
+enum Origin {
+    /// Host send or RTS-origin event: becomes a [`ReplayLog::roots`] entry.
+    External,
+    /// Produced by the exec at this local index.
+    Exec(usize),
+    /// Produced on behalf of the exec with this scheduler dispatch key —
+    /// used by the window-boundary reduction fold, which runs outside any
+    /// exec (and, in parallel mode, possibly on a different shard than the
+    /// producing exec). Resolved to an exec index when the log is built.
+    Dispatch((u64, u64)),
+}
+
 /// The in-flight recording state. Lives inside the [`Runtime`](crate::Runtime)
 /// behind an `Option`, tracer-style.
 pub(crate) struct Recorder {
@@ -258,16 +272,27 @@ pub(crate) struct Recorder {
     entry_names: Vec<String>,
     entry_ix: HashMap<String, u32>,
     execs: Vec<ExecRec>,
+    /// Scheduler dispatch key `(t_ns, heap_key)` of each exec, parallel to
+    /// `execs`. This is the total order the windowed engine executes in —
+    /// shard recorders are merged back into one log by sorting on it
+    /// (heap keys are globally unique: each shard allocates from the slots
+    /// it owns).
+    dispatch_keys: Vec<(u64, u64)>,
     roots: Vec<SendRec>,
     state_points: Vec<DigestPoint>,
-    /// msg id → index of the producing exec (`None` = external origin).
-    /// Lookup-only; never iterated.
-    origin: HashMap<u64, Option<usize>>,
+    /// msg id → producing exec. Lookup-only; never iterated.
+    origin: HashMap<u64, Origin>,
     /// msg ids whose routing was already recorded (re-routes after limbo
     /// flushes and stale-cache forwards must not duplicate the send).
     routed: HashSet<u64>,
     /// Index of the exec currently applying its actions.
     current: Option<usize>,
+    /// While set, new messages are attributed to the exec with this
+    /// dispatch key instead of `current` (reduction-fold callbacks).
+    pub(crate) origin_dispatch: Option<(u64, u64)>,
+    /// Sends whose producing exec is identified by dispatch key; attached
+    /// to the right exec (any shard's) when the log is finalized.
+    deferred: Vec<((u64, u64), SendRec)>,
 }
 
 impl Recorder {
@@ -277,11 +302,14 @@ impl Recorder {
             entry_names: Vec::new(),
             entry_ix: HashMap::new(),
             execs: Vec::new(),
+            dispatch_keys: Vec::new(),
             roots: Vec::new(),
             state_points: Vec::new(),
             origin: HashMap::new(),
             routed: HashSet::new(),
             current: None,
+            origin_dispatch: None,
+            deferred: Vec::new(),
         }
     }
 
@@ -302,7 +330,12 @@ impl Recorder {
 
     /// A new message was created; remember which exec (if any) produced it.
     pub(crate) fn note_origin(&mut self, msg_id: u64) {
-        self.origin.insert(msg_id, self.current);
+        let origin = match (self.origin_dispatch, self.current) {
+            (Some(dk), _) => Origin::Dispatch(dk),
+            (None, Some(i)) => Origin::Exec(i),
+            (None, None) => Origin::External,
+        };
+        self.origin.insert(msg_id, origin);
     }
 
     /// A message's delivery was scheduled (first routing only; later
@@ -328,9 +361,10 @@ impl Recorder {
             tree_depth: tree_depth as u32,
             rtt_bytes: rtt_bytes as u64,
         };
-        match self.origin.get(&msg_id).copied().flatten() {
-            Some(i) => self.execs[i].sends.push(rec),
-            None => self.roots.push(rec),
+        match self.origin.get(&msg_id).copied() {
+            Some(Origin::Exec(i)) => self.execs[i].sends.push(rec),
+            Some(Origin::Dispatch(dk)) => self.deferred.push((dk, rec)),
+            Some(Origin::External) | None => self.roots.push(rec),
         }
     }
 
@@ -345,20 +379,17 @@ impl Recorder {
         dst: ObjId,
         entry_name: &str,
         msg_id: u64,
+        msg_src: Option<ObjId>,
         msg_digest: u64,
         msg_bytes: usize,
         work: f64,
         n_remote: u32,
         n_local: u32,
+        dispatch: (u64, u64),
     ) {
         let entry = self.intern(entry_name);
         let seq = self.execs.len() as u64;
-        let msg_src = self
-            .origin
-            .get(&msg_id)
-            .copied()
-            .flatten()
-            .map(|i| self.execs[i].dst);
+        self.dispatch_keys.push(dispatch);
         self.execs.push(ExecRec {
             seq,
             pe: pe as u32,
@@ -383,17 +414,84 @@ impl Recorder {
     }
 
     pub(crate) fn push_state_point(&mut self, t: SimTime, digests: Vec<(ObjId, u64)>) {
+        let seq = self.execs.len() as u64;
+        self.push_state_point_at(seq, t, digests);
+    }
+
+    /// A state-digest point with an explicit global seq — the parallel
+    /// coordinator computes `seq` from the published per-shard exec counts
+    /// (a shard-local `execs.len()` would be meaningless there).
+    pub(crate) fn push_state_point_at(&mut self, seq: u64, t: SimTime, digests: Vec<(ObjId, u64)>) {
         self.state_points.push(DigestPoint {
-            seq: self.execs.len() as u64,
+            seq,
             t_ns: t.0,
             digests,
         });
     }
 
+    /// Fold shard recorders back into this (pre-split) recorder after a
+    /// parallel run. Execs from all sources are re-sorted by scheduler
+    /// dispatch key — exactly the order the sequential engine would have
+    /// executed them in — then renumbered; entry names are re-interned,
+    /// origin indices remapped, and roots/state points appended.
+    pub(crate) fn absorb_shards(&mut self, shards: Vec<Recorder>) {
+        let mut sources: Vec<Recorder> = Vec::with_capacity(shards.len() + 1);
+        sources.push(std::mem::replace(self, Recorder::new(self.cfg.clone())));
+        sources.extend(shards);
+
+        // Global execution order: dispatch keys are unique across sources.
+        let mut order: Vec<((u64, u64), usize, usize)> = Vec::new();
+        for (si, src) in sources.iter().enumerate() {
+            debug_assert_eq!(src.execs.len(), src.dispatch_keys.len());
+            for (li, &dk) in src.dispatch_keys.iter().enumerate() {
+                order.push((dk, si, li));
+            }
+        }
+        order.sort_unstable_by_key(|&(dk, _, _)| dk);
+
+        // Move execs out so they can be re-owned in sorted order.
+        let mut pools: Vec<Vec<Option<ExecRec>>> = sources
+            .iter_mut()
+            .map(|s| s.execs.drain(..).map(Some).collect())
+            .collect();
+        let mut remap: Vec<Vec<usize>> = pools.iter().map(|p| vec![usize::MAX; p.len()]).collect();
+        let entry_maps: Vec<Vec<String>> = sources
+            .iter_mut()
+            .map(|s| std::mem::take(&mut s.entry_names))
+            .collect();
+
+        for (gi, &(dk, si, li)) in order.iter().enumerate() {
+            let mut e = pools[si][li].take().expect("exec consumed twice");
+            e.seq = gi as u64;
+            e.entry = self.intern(&entry_maps[si][e.entry as usize]);
+            remap[si][li] = gi;
+            self.dispatch_keys.push(dk);
+            self.execs.push(e);
+        }
+
+        for (si, src) in sources.into_iter().enumerate() {
+            for (msg_id, org) in src.origin {
+                let org = match org {
+                    Origin::Exec(li) => Origin::Exec(remap[si][li]),
+                    other => other,
+                };
+                self.origin.insert(msg_id, org);
+            }
+            self.routed.extend(src.routed);
+            self.roots.extend(src.roots);
+            self.state_points.extend(src.state_points);
+            // Only shard 0 folds reductions, so deferred sends arrive here
+            // already in chronological fold order — same as sequential.
+            self.deferred.extend(src.deferred);
+        }
+        self.state_points.sort_by_key(|p| (p.seq, p.t_ns));
+        self.current = None;
+    }
+
     /// Consume the recorder into a finished log.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn into_log(
-        self,
+        mut self,
         machine: String,
         num_pes: usize,
         seed: u64,
@@ -403,6 +501,20 @@ impl Recorder {
         end: SimTime,
         final_digests: Vec<(ObjId, u64)>,
     ) -> ReplayLog {
+        // Attach dispatch-keyed sends (reduction-fold callbacks) to their
+        // producing execs, in fold order.
+        let by_key: HashMap<(u64, u64), usize> = self
+            .dispatch_keys
+            .iter()
+            .enumerate()
+            .map(|(i, &dk)| (dk, i))
+            .collect();
+        for (dk, rec) in self.deferred.drain(..) {
+            match by_key.get(&dk) {
+                Some(&i) => self.execs[i].sends.push(rec),
+                None => self.roots.push(rec),
+            }
+        }
         let final_state = DigestPoint {
             seq: self.execs.len() as u64,
             t_ns: end.0,

@@ -23,6 +23,50 @@ use std::collections::{BinaryHeap, HashMap};
 /// Fixed per-message envelope overhead added to every payload's wire size.
 pub const ENVELOPE_BYTES: usize = 40;
 
+/// Event keys are `(slot << KEY_SLOT_SHIFT) | counter`: the producer slot
+/// in the high bits, a per-slot monotonic counter in the low 40. Because a
+/// shard owns exactly the slots of its PEs, shards allocate keys with no
+/// coordination and the combined key space is identical to sequential.
+pub(crate) const KEY_SLOT_SHIFT: u32 = 40;
+/// Key-slot offset (past `num_pes`) for host-side sends before/between runs.
+pub(crate) const SLOT_HOST: usize = 0;
+/// Key-slot offset for events produced while folding reductions.
+pub(crate) const SLOT_RED: usize = 1;
+/// Key-slot offset for runtime-system events (failures, DVFS, checkpoints…).
+pub(crate) const SLOT_RTS: usize = 2;
+
+/// Jitter-token salts distinguishing the several delay draws one event can
+/// make (location-query round trips, tree hops, forwards). Same convention
+/// as the DAG re-simulator's edge tokens.
+pub(crate) const TOKEN_RTT_REQ: u64 = 1 << 62;
+pub(crate) const TOKEN_RTT_RESP: u64 = 2 << 62;
+pub(crate) const TOKEN_AUX: u64 = 3 << 62;
+
+/// A buffered reduction contribution, folded at window boundaries.
+pub(crate) struct ContribRec {
+    /// Dispatch time of the entry method that contributed — the fold sorts
+    /// by `(merge_t, merge_key)` to reproduce sequential combine order.
+    pub merge_t: u64,
+    /// Dispatch key of the contributing entry (see [`Envelope::rec_id`]).
+    pub merge_key: u64,
+    /// When the contributing entry completed (the contribution's own time).
+    pub at: SimTime,
+    pub array: ArrayId,
+    pub tag: u32,
+    pub value: RedValue,
+    pub op: RedOp,
+    pub cb: Callback,
+}
+
+/// A metric sample tagged with its producer's dispatch order so parallel
+/// shards can merge samples back into sequential order.
+pub(crate) struct MetricSample {
+    pub dispatch: (u64, u64),
+    pub name: String,
+    pub at_secs: f64,
+    pub value: f64,
+}
+
 /// How an array maps indices to *home PEs* — the PEs responsible for
 /// tracking element locations (§II-D: "Several default schemes are provided
 /// … Programmers can also define their own scheme").
@@ -94,10 +138,17 @@ pub(crate) struct Envelope {
     pub bytes: usize,
     pub prio: i64,
     pub src_pe: usize,
-    /// Runtime-wide message id, assigned at creation. Always allocated
+    /// Runtime-wide message key, assigned at creation. Always allocated
     /// (recording on or off) so enabling the recorder cannot shift any
-    /// other deterministic state.
+    /// other deterministic state. Doubles as the event-heap tie-break for
+    /// the delivery event, which is what makes the parallel engine's
+    /// cross-shard merge order identical to sequential dispatch order.
     pub rec_id: u64,
+    /// The chare whose entry method produced this message (`None` for host
+    /// sends and runtime-origin events). Carried on the envelope — rather
+    /// than recovered through the recorder's origin map — so a shard can
+    /// attribute a message that was produced on a different shard.
+    pub src_obj: Option<ObjId>,
 }
 
 pub(crate) struct Pending {
@@ -138,7 +189,7 @@ pub(crate) struct PeState {
 }
 
 impl PeState {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         PeState {
             pending: BinaryHeap::new(),
             busy: false,
@@ -240,6 +291,7 @@ pub struct RuntimeBuilder {
     trace: Option<TraceConfig>,
     record: Option<ReplayConfig>,
     perturb: Option<PerturbConfig>,
+    threads: usize,
 }
 
 impl RuntimeBuilder {
@@ -349,15 +401,37 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Number of OS worker threads for the parallel execution mode
+    /// (default: [`crate::default_threads`], itself 1 unless overridden).
+    /// With `n > 1`, deadline-free runs that use only parallel-safe
+    /// features shard the PEs across `n` workers; results are byte-
+    /// identical to sequential execution. Runs that use sequential-only
+    /// features (fault injection, DVFS, perturbation, …) silently fall
+    /// back to the sequential engine.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
     /// Construct the runtime.
     pub fn build(self) -> Runtime {
         let n = self.machine.num_pes;
+        // Slot-partitioned event keys: one counter per PE plus the three
+        // runtime slots (host, reductions, RTS). See [`Runtime::fresh_key`].
+        let mut keys = vec![0u64; n + 3];
+        let rts = n + SLOT_RTS;
+        let rts_key = |keys: &mut Vec<u64>| {
+            let k = ((rts as u64) << KEY_SLOT_SHIFT) | keys[rts];
+            keys[rts] += 1;
+            k
+        };
         // Pre-size for a few in-flight events per PE; saves the first
         // handful of heap reallocations on every run.
         let mut events = EventQueue::with_capacity(8 * n);
         // Schedule injected failures and the DVFS sampler.
         for f in self.machine.failures.events() {
-            events.push(f.time, Ev::NodeFail { pe: f.pe });
+            let k = rts_key(&mut keys);
+            events.push_keyed(f.time, k, Ev::NodeFail { pe: f.pe });
         }
         let thermal = self
             .machine
@@ -365,12 +439,15 @@ impl RuntimeBuilder {
             .as_ref()
             .map(|cfg| ThermalModel::new(cfg.clone(), self.machine.num_chips()));
         if thermal.is_some() {
-            events.push(self.dvfs_period, Ev::DvfsTick);
+            let k = rts_key(&mut keys);
+            events.push_keyed(self.dvfs_period, k, Ev::DvfsTick);
         }
         if let Some(interval) = self.auto_ckpt {
-            events.push(interval, Ev::AutoCkpt);
+            let k = rts_key(&mut keys);
+            events.push_keyed(interval, k, Ev::AutoCkpt);
         }
         let net = NetworkModel::new(self.machine.network.clone(), self.seed);
+        let net_min_remote = net.min_remote_delay().0;
         let num_chips = self.machine.num_chips();
         let rngs = (0..n)
             .map(|pe| StdRng::seed_from_u64(self.seed ^ (pe as u64).wrapping_mul(0x9E3779B97F4A7C15)))
@@ -433,7 +510,17 @@ impl RuntimeBuilder {
             tracer,
             recorder,
             perturb,
-            next_rec_id: 0,
+            keys,
+            cur_slot: n + SLOT_HOST,
+            cur_dispatch: (0, 0),
+            pending_contribs: Vec::new(),
+            cur_win_end: SimTime::ZERO,
+            win_ns: net_min_remote.max(1),
+            last_digest_seq: 0,
+            par: None,
+            threads: self.threads,
+            metrics_buf: Vec::new(),
+            last_run_parallel: false,
             reconfig_overhead_shrink: SimTime::from_secs_f64(2.0),
             reconfig_overhead_expand: SimTime::from_secs_f64(6.5),
         }
@@ -451,7 +538,7 @@ pub struct Runtime {
     pub(crate) live_pes: usize,
     pub(crate) stores: Vec<Box<dyn AnyArray>>,
     /// Per-array home-mapping scheme (parallel to `stores`).
-    home_maps: Vec<HomeMap>,
+    pub(crate) home_maps: Vec<HomeMap>,
     pub(crate) array_names: FxHashMap<String, ArrayId>,
     pub(crate) rngs: Vec<StdRng>,
     pub(crate) ctrl: ControlRegistry,
@@ -495,36 +582,66 @@ pub struct Runtime {
     pub(crate) last_rts_lb: SimTime,
     /// Busy time per chip accumulated since the last DVFS tick.
     pub(crate) chip_busy: Vec<SimTime>,
-    sched_overhead: SimTime,
+    pub(crate) sched_overhead: SimTime,
     pub(crate) metrics: FxHashMap<String, Vec<(f64, f64)>>,
-    entries: u64,
-    messages: u64,
-    bytes_moved: u64,
-    events_processed: u64,
+    pub(crate) entries: u64,
+    pub(crate) messages: u64,
+    pub(crate) bytes_moved: u64,
+    pub(crate) events_processed: u64,
     /// Wall-clock time accumulated inside `run*` calls (not virtual time).
-    wall_run: std::time::Duration,
+    pub(crate) wall_run: std::time::Duration,
     /// Reusable buffer for the actions a `Ctx` collects during one entry
     /// method — saves a heap allocation per executed message.
-    action_scratch: Vec<Action>,
+    pub(crate) action_scratch: Vec<Action>,
     pub(crate) exit_requested: bool,
-    max_events: u64,
+    pub(crate) max_events: u64,
     pub(crate) seed: u64,
     /// Location caching enabled? (ablation toggle; default true)
-    location_cache: bool,
+    pub(crate) location_cache: bool,
     /// Spanning-tree branching factor for collectives.
-    collective_arity: u64,
+    pub(crate) collective_arity: u64,
     /// Record obj→obj communication for the LB?
-    track_comm: bool,
+    pub(crate) track_comm: bool,
     /// Aggregated obj→obj bytes since the last LB round (when tracked).
-    comm: FxHashMap<(ObjId, ObjId), u64>,
+    pub(crate) comm: FxHashMap<(ObjId, ObjId), u64>,
     /// Projections-lite tracing, when enabled ([`RuntimeBuilder::tracing`]).
     pub(crate) tracer: Option<Tracer>,
     /// Replay recording, when enabled ([`RuntimeBuilder::record`]).
     pub(crate) recorder: Option<Recorder>,
     /// Schedule perturbation, when enabled ([`RuntimeBuilder::perturb`]).
-    perturb: Option<(PerturbConfig, StdRng)>,
-    /// Monotonic message-id counter (see [`Envelope::rec_id`]).
-    next_rec_id: u64,
+    pub(crate) perturb: Option<(PerturbConfig, StdRng)>,
+    /// Slot-partitioned event-key counters: index `pe` for events produced
+    /// while dispatching on that PE, then [`SLOT_HOST`]/[`SLOT_RED`]/
+    /// [`SLOT_RTS`] offsets past `num_pes`. Partitioning by producer is what
+    /// lets each parallel shard allocate keys independently yet identically
+    /// to the sequential run (see [`Runtime::fresh_key`]).
+    pub(crate) keys: Vec<u64>,
+    /// Which key slot new events are charged to right now; maintained by
+    /// [`Runtime::dispatch`], the host APIs, and the reduction fold.
+    pub(crate) cur_slot: usize,
+    /// `(time_ns, key)` of the event currently being dispatched — the
+    /// global total order used to tag contributions, metrics, and replay
+    /// records so shards can merge them back in sequential order.
+    pub(crate) cur_dispatch: (u64, u64),
+    /// Reduction contributions buffered since the last window boundary;
+    /// folded in deterministic `(dispatch time, dispatch key)` order at the
+    /// boundary (identically in sequential and parallel mode).
+    pub(crate) pending_contribs: Vec<ContribRec>,
+    /// End of the conservative lookahead window currently executing.
+    pub(crate) cur_win_end: SimTime,
+    /// Window quantum: the minimum cross-PE network latency (α) in ns.
+    pub(crate) win_ns: u64,
+    /// Recorder exec count at the last emitted state-digest point.
+    pub(crate) last_digest_seq: u64,
+    /// Present iff this runtime is one shard of a parallel run.
+    pub(crate) par: Option<Box<crate::parallel::ParShard>>,
+    /// Worker threads requested for deadline-free runs (1 = sequential).
+    pub(crate) threads: usize,
+    /// Metric samples tagged with their dispatch order, buffered in shard
+    /// mode and merged deterministically at the end of a parallel run.
+    pub(crate) metrics_buf: Vec<MetricSample>,
+    /// Did the most recent `run_until` actually execute in parallel?
+    pub(crate) last_run_parallel: bool,
     /// Modeled process tear-down/reconnect cost on shrink (paper: 2.7 s).
     pub reconfig_overhead_shrink: SimTime,
     /// Modeled process start-up/reconnect cost on expand (paper: 7.2 s).
@@ -550,6 +667,7 @@ impl Runtime {
             trace: None,
             record: None,
             perturb: None,
+            threads: crate::parallel::default_threads(),
         }
     }
 
@@ -637,6 +755,7 @@ impl Runtime {
     /// one network latency). This is how a `main` kicks off execution.
     pub fn send<C: Chare>(&mut self, proxy: ArrayProxy<C>, ix: crate::Ix, mut msg: C::Msg) {
         let bytes = charm_pup::packed_size(&mut msg) + ENVELOPE_BYTES;
+        self.cur_slot = self.host_slot();
         let rec_id = self.fresh_rec_id();
         if let Some(r) = &mut self.recorder {
             r.note_origin(rec_id); // external origin: no current exec
@@ -651,6 +770,7 @@ impl Runtime {
             prio: 0,
             src_pe: 0,
             rec_id,
+            src_obj: None,
         });
         self.route_and_schedule(env, self.now);
     }
@@ -667,6 +787,7 @@ impl Runtime {
         C::Msg: Clone,
     {
         let bytes = charm_pup::packed_size(&mut msg) + ENVELOPE_BYTES;
+        self.cur_slot = self.host_slot();
         let targets = self.stores[proxy.id.0 as usize].indices();
         for ix in targets {
             let rec_id = self.fresh_rec_id();
@@ -683,6 +804,7 @@ impl Runtime {
                 prio: 0,
                 src_pe: 0,
                 rec_id,
+                src_obj: None,
             });
             self.route_and_schedule(env, self.now);
         }
@@ -700,10 +822,13 @@ impl Runtime {
     {
         let bytes = charm_pup::packed_size(&mut msg) + ENVELOPE_BYTES;
         let array = proxy.id;
+        self.cur_slot = self.host_slot();
         // Identical tree-cost model to chare-initiated broadcasts
         // (`do_broadcast`): each tree level adds one message latency.
         let depth = self.tree_depth();
-        let level_cost = self.net.delay(0, 1.min(self.live_pes - 1), bytes);
+        let level_cost = self
+            .net
+            .delay(0, 1.min(self.live_pes - 1), bytes, (array.0 as u64) ^ TOKEN_AUX);
         let tree_delay = SimTime(level_cost.0 * depth);
         let targets = self.stores[array.0 as usize].indices();
         for ix in targets {
@@ -723,13 +848,13 @@ impl Runtime {
                 prio: 0,
                 src_pe: 0,
                 rec_id,
+                src_obj: None,
             });
             self.bytes_moved += bytes as u64;
-            self.inflight += 1;
             if let Some(tr) = &mut self.tracer {
                 tr.on_send(self.now, 0, pe, dst, bytes);
             }
-            self.events.push(self.now + tree_delay, Ev::Deliver { pe, env });
+            self.sched_deliver(self.now + tree_delay, pe, env);
         }
     }
 
@@ -829,10 +954,26 @@ impl Runtime {
         self.thermal.as_ref()
     }
 
+    /// Did the most recent [`Runtime::run_until`] actually execute on the
+    /// parallel sharded engine? `false` after a sequential run — including
+    /// the silent fallback taken when some feature in use (dynamic
+    /// insertion, quiescence detection, thermal/DVFS, comm tracking…)
+    /// is sequential-only.
+    pub fn last_run_parallel(&self) -> bool {
+        self.last_run_parallel
+    }
+
+    /// Worker-thread count for subsequent runs (1 = sequential). Builder
+    /// equivalent: [`RuntimeBuilder::threads`].
+    pub fn set_parallel_threads(&mut self, n: usize) {
+        self.threads = n.max(1);
+    }
+
     /// Schedule a malleable reconfiguration (shrink or expand) at `at`.
     pub fn schedule_reconfigure(&mut self, at: SimTime, to_pes: usize) {
         assert!(to_pes >= 1 && to_pes <= self.machine.num_pes);
-        self.events.push(at, Ev::Reconfigure { to: to_pes });
+        let k = self.fresh_key(self.host_slot());
+        self.events.push_keyed(at, k, Ev::Reconfigure { to: to_pes });
     }
 
     // ----- the event loop ----------------------------------------------------
@@ -845,45 +986,151 @@ impl Runtime {
 
     /// Run until virtual time `deadline` (events after it stay queued), a
     /// chare calls `exit`, or the event cap is hit.
+    ///
+    /// With [`RuntimeBuilder::threads`] > 1 and no deadline, the run is
+    /// sharded across OS worker threads when every feature in use is
+    /// parallel-safe (see [`Runtime::last_run_parallel`]); results are
+    /// byte-identical to sequential execution either way.
     pub fn run_until(&mut self, deadline: SimTime) -> RunSummary {
+        if self.threads > 1 && deadline == SimTime::MAX && self.par.is_none() {
+            if let Some(plan) = self.parallel_plan() {
+                return self.run_parallel(plan);
+            }
+        }
+        self.last_run_parallel = false;
+        self.run_seq_until(deadline)
+    }
+
+    /// The sequential engine: conservative lookahead windows over one event
+    /// heap. Events execute in windows of width `win_ns` (the minimum
+    /// cross-PE latency α); reduction folds and state-digest points happen
+    /// at window boundaries. Parallel workers run this same loop per shard
+    /// (via [`Runtime::drain_window`]) with identical window geometry —
+    /// that shared geometry is what makes parallel results byte-identical.
+    pub(crate) fn run_seq_until(&mut self, deadline: SimTime) -> RunSummary {
         self.ctrl_snapshot = self.ctrl.snapshot();
         let wall_start = std::time::Instant::now();
-        // All events sharing the head timestamp are popped in one batch
-        // (one buffer, reused across timesteps) instead of a peek+pop pair
-        // per event. Processing order is unchanged: the batch preserves
-        // insertion order, and events pushed at the same timestamp *during*
-        // the batch carry later sequence numbers, so they surface in the
-        // next batch — exactly where repeated `pop` would have yielded them.
         let mut batch: Vec<(u64, Ev)> = Vec::new();
-        while !self.exit_requested && self.events_processed < self.max_events {
-            let t = match self.events.peek_time() {
-                Some(t) if t <= deadline => t,
-                _ => break,
+        while self.events_processed < self.max_events {
+            let Some(t) = self.events.peek_time() else {
+                // Quiet heap, but buffered contributions can still complete
+                // a reduction whose callback re-seeds the heap.
+                if !self.pending_contribs.is_empty() && !self.exit_requested {
+                    self.boundary_work();
+                    continue;
+                }
+                break;
             };
-            debug_assert!(t >= self.now, "time went backwards");
-            self.now = t;
-            self.events.pop_batch_at_seq_into(t, &mut batch);
-            let mut drain = batch.drain(..);
-            for (_, ev) in drain.by_ref() {
-                self.events_processed += 1;
-                self.dispatch(ev);
-                self.maybe_detect_quiescence();
-                if self.exit_requested || self.events_processed >= self.max_events {
+            if t > deadline {
+                break;
+            }
+            if t >= self.cur_win_end {
+                // `exit` drains the current window, then stops (parallel
+                // shards can't stop mid-window, so sequential must not
+                // either).
+                if self.exit_requested {
                     break;
                 }
+                // Idle boundary (no buffered contributions, no digest due):
+                // nothing observable happens, so jump the window straight
+                // to the one containing `t`. With α-sized windows this is
+                // the common case and keeps boundary cost off the hot path.
+                if self.pending_contribs.is_empty() && !self.digest_due() {
+                    self.cur_win_end = self.win_end_after(t);
+                } else {
+                    self.boundary_work();
+                    // The fold may have scheduled callbacks earlier than
+                    // `t`; re-aim the window at the true next event.
+                    if let Some(t2) = self.events.peek_time() {
+                        self.cur_win_end = self.win_end_after(t2);
+                    }
+                    continue;
+                }
             }
-            // Early exit mid-batch: unprocessed ties go back under their
-            // original sequence numbers, so a later resumed run (interop's
-            // `clear_exit`) pops them in the exact pre-batch order.
-            for (seq, ev) in drain {
-                self.events.restore(t, seq, ev);
-            }
+            self.drain_batch_at(t, deadline, &mut batch);
         }
         if deadline != SimTime::MAX && !self.exit_requested {
             self.now = self.now.max(deadline);
         }
         self.wall_run += wall_start.elapsed();
         self.summary()
+    }
+
+    /// Pop and dispatch the whole event batch at timestamp `t`. All events
+    /// sharing the head timestamp are popped in one batch (one buffer,
+    /// reused across timesteps) instead of a peek+pop pair per event, in
+    /// ascending key order — the same total `(time, key)` order whether the
+    /// events were produced by one shard or by the sequential engine.
+    fn drain_batch_at(&mut self, t: SimTime, deadline: SimTime, batch: &mut Vec<(u64, Ev)>) {
+        debug_assert!(t >= self.now, "time went backwards");
+        debug_assert!(t <= deadline);
+        self.now = t;
+        self.events.pop_batch_at_seq_into(t, batch);
+        let mut drain = batch.drain(..);
+        for (key, ev) in drain.by_ref() {
+            self.events_processed += 1;
+            self.cur_dispatch = (t.0, key);
+            self.dispatch(ev);
+            self.maybe_detect_quiescence();
+            if self.events_processed >= self.max_events {
+                break;
+            }
+        }
+        // Event-cap stop mid-batch: unprocessed ties go back under their
+        // original keys, so a later resumed run (interop's `clear_exit`)
+        // pops them in the exact pre-batch order.
+        for (key, ev) in drain {
+            self.events.restore(t, key, ev);
+        }
+    }
+
+    /// Process every queued event strictly before `w_end` (one conservative
+    /// window). The parallel worker loop drives this per shard.
+    pub(crate) fn drain_window(&mut self, w_end: SimTime, batch: &mut Vec<(u64, Ev)>) {
+        while let Some(t) = self.events.peek_time() {
+            if t >= w_end {
+                break;
+            }
+            self.drain_batch_at(t, SimTime::MAX, batch);
+        }
+        self.cur_win_end = w_end;
+    }
+
+    /// Window-boundary bookkeeping: fold buffered reduction contributions
+    /// and emit a state-digest point when one is due. The boundary sequence
+    /// (and thus the fold and digest points) is identical in sequential and
+    /// parallel mode.
+    /// Is a periodic state-digest point due at the next window boundary?
+    fn digest_due(&self) -> bool {
+        self.recorder.as_ref().is_some_and(|r| {
+            r.cfg
+                .digest_every
+                .is_some_and(|n| r.execs_len() - self.last_digest_seq >= n)
+        })
+    }
+
+    pub(crate) fn boundary_work(&mut self) {
+        let boundary = self.cur_win_end;
+        self.fold_contributions();
+        let due = self.recorder.as_ref().and_then(|r| {
+            let n = r.cfg.digest_every?;
+            let execs = r.execs_len();
+            (execs - self.last_digest_seq >= n).then_some(execs)
+        });
+        if let Some(execs) = due {
+            self.last_digest_seq = execs;
+            let digests = self.state_digest();
+            if let Some(r) = &mut self.recorder {
+                r.push_state_point(boundary, digests);
+            }
+        }
+    }
+
+    /// End of the lookahead window containing `t`: the next multiple of
+    /// `win_ns` strictly after it.
+    pub(crate) fn win_end_after(&self, t: SimTime) -> SimTime {
+        let w = self.win_ns;
+        SimTime((t.0 / w).saturating_add(1).saturating_mul(w))
     }
 
     /// Run for `span` more virtual time.
@@ -945,6 +1192,15 @@ impl Runtime {
     }
 
     fn dispatch(&mut self, ev: Ev) {
+        // Events produced while handling this one are charged to the
+        // handling PE's key slot (RTS slot for runtime-system events), so a
+        // shard that owns the PE allocates exactly the keys the sequential
+        // engine would.
+        self.cur_slot = match &ev {
+            Ev::Deliver { pe, .. } | Ev::PeFree { pe } | Ev::PeRetry { pe } => *pe,
+            Ev::MigrateArrive(m) => m.to_pe,
+            _ => self.rts_slot(),
+        };
         match ev {
             Ev::Deliver { pe, env } => {
                 self.inflight -= 1;
@@ -1055,7 +1311,7 @@ impl Runtime {
             }
             if self.now < p.blocked_until {
                 let when = p.blocked_until;
-                self.events.push(when, Ev::PeRetry { pe });
+                self.push_ev(when, Ev::PeRetry { pe });
                 return;
             }
             let Pending { env, .. } = p.pending.pop().expect("non-empty");
@@ -1066,10 +1322,58 @@ impl Runtime {
         }
     }
 
-    /// Allocate a runtime-wide message id (always, so recording is inert).
+    /// Key-slot index for host-side sends.
+    pub(crate) fn host_slot(&self) -> usize {
+        self.machine.num_pes + SLOT_HOST
+    }
+
+    /// Key-slot index for reduction-fold deliveries.
+    pub(crate) fn red_slot(&self) -> usize {
+        self.machine.num_pes + SLOT_RED
+    }
+
+    /// Key-slot index for runtime-system events.
+    pub(crate) fn rts_slot(&self) -> usize {
+        self.machine.num_pes + SLOT_RTS
+    }
+
+    /// Allocate the next event key in `slot`.
+    pub(crate) fn fresh_key(&mut self, slot: usize) -> u64 {
+        let k = ((slot as u64) << KEY_SLOT_SHIFT) | self.keys[slot];
+        self.keys[slot] += 1;
+        debug_assert!(self.keys[slot] < 1 << KEY_SLOT_SHIFT, "key slot overflow");
+        k
+    }
+
+    /// Allocate a runtime-wide message id (always, so recording is inert),
+    /// charged to the current producer slot.
     pub(crate) fn fresh_rec_id(&mut self) -> u64 {
-        self.next_rec_id += 1;
-        self.next_rec_id
+        let slot = self.cur_slot;
+        self.fresh_key(slot)
+    }
+
+    /// Push a non-delivery event under a fresh key from the current slot.
+    pub(crate) fn push_ev(&mut self, t: SimTime, ev: Ev) {
+        debug_assert!(!matches!(ev, Ev::Deliver { .. }), "deliveries go through sched_deliver");
+        let k = self.fresh_rec_id();
+        self.events.push_keyed(t, k, ev);
+    }
+
+    /// Schedule a message delivery under its envelope key. In shard mode,
+    /// deliveries to PEs owned by another shard are buffered in the outbox
+    /// and exchanged at the next window barrier; the ingesting shard counts
+    /// them in flight.
+    pub(crate) fn sched_deliver(&mut self, t: SimTime, pe: usize, env: Box<Envelope>) {
+        if let Some(par) = &mut self.par {
+            if pe < par.lo || pe >= par.hi {
+                let shard = par.shard_of(pe);
+                par.outbox[shard].push((t, pe, env));
+                return;
+            }
+        }
+        self.inflight += 1;
+        let k = env.rec_id;
+        self.events.push_keyed(t, k, Ev::Deliver { pe, env });
     }
 
     /// Execute one envelope on `pe` at `self.now`. Returns false when the
@@ -1083,22 +1387,21 @@ impl Runtime {
         // exist yet (dynamic insertion / migration in transit).
         match store.locate(&ix) {
             None => {
+                assert!(
+                    self.par.is_none(),
+                    "message for nonexistent element {:?} in parallel mode \
+                     (dynamic insertion is sequential-only)",
+                    env.dst
+                );
                 self.limbo.entry(env.dst).or_default().push(env);
                 return false;
             }
             Some((actual, epoch)) if actual != pe => {
                 // Forward along and update the original sender's cache.
-                let delay = self.net.delay(pe, actual, env.bytes);
+                let delay = self.net.delay(pe, actual, env.bytes, env.rec_id ^ TOKEN_AUX);
                 self.loc_cache[env.src_pe].insert(env.dst, (actual, epoch));
                 self.bytes_moved += env.bytes as u64;
-                self.inflight += 1;
-                self.events.push(
-                    self.now + delay,
-                    Ev::Deliver {
-                        pe: actual,
-                        env,
-                    },
-                );
+                self.sched_deliver(self.now + delay, actual, env);
                 return false;
             }
             Some(_) => {}
@@ -1191,8 +1494,9 @@ impl Runtime {
         if let Some(tr) = &mut self.tracer {
             tr.pe_transition(self.now, pe, true);
         }
-        self.events.push(end, Ev::PeFree { pe });
+        self.push_ev(end, Ev::PeFree { pe });
 
+        let dispatch = self.cur_dispatch;
         if let (Some(r), Some((digest, entry_name))) = (&mut self.recorder, rec_consumed) {
             r.begin_exec(
                 pe,
@@ -1201,11 +1505,13 @@ impl Runtime {
                 env.dst,
                 &entry_name,
                 env.rec_id,
+                env.src_obj,
                 digest,
                 env.bytes,
                 work_units,
                 n_remote,
                 n_local,
+                dispatch,
             );
         }
         let mut actions = actions;
@@ -1213,16 +1519,10 @@ impl Runtime {
         self.action_scratch = actions;
         if let Some(r) = &mut self.recorder {
             r.end_exec();
-            if let Some(n) = r.cfg.digest_every {
-                if r.execs_len() % n == 0 {
-                    let digests = self.state_digest();
-                    let now = self.now;
-                    if let Some(r) = &mut self.recorder {
-                        r.push_state_point(now, digests);
-                    }
-                }
-            }
         }
+        // State-digest points are taken at window boundaries (see
+        // `boundary_work`), not here: a mid-window digest would observe a
+        // state no parallel schedule can reproduce.
         true
     }
 
@@ -1252,6 +1552,26 @@ impl Runtime {
         actions: &mut Vec<Action>,
     ) {
         for action in actions.drain(..) {
+            if self.par.is_some() {
+                let unsupported = match &action {
+                    Action::AtSync => Some("at_sync"),
+                    Action::MigrateMe { .. } => Some("migrate_me"),
+                    Action::Insert { .. } => Some("insert"),
+                    Action::DestroyMe => Some("destroy_me"),
+                    Action::CtrlFeedback { .. } => Some("ctrl_feedback"),
+                    Action::MemCheckpoint { .. } => Some("mem_checkpoint"),
+                    Action::RequestLb => Some("request_lb"),
+                    Action::RequestQuiescence { .. } => Some("request_quiescence"),
+                    _ => None,
+                };
+                if let Some(name) = unsupported {
+                    panic!(
+                        "`{name}` is sequential-only; run with threads = 1 \
+                         (the parallel engine shards chare locations and \
+                         cannot move or create elements mid-run)"
+                    );
+                }
+            }
             match action {
                 Action::Send {
                     dst,
@@ -1274,6 +1594,7 @@ impl Runtime {
                         prio,
                         src_pe,
                         rec_id,
+                        src_obj: Some(src),
                     });
                     self.route_and_schedule(env, at + delay);
                 }
@@ -1283,7 +1604,7 @@ impl Runtime {
                     bytes,
                     prio,
                 } => {
-                    self.do_broadcast(array, &*make, bytes, prio, src_pe, at);
+                    self.do_broadcast(array, &*make, bytes, prio, src, src_pe, at);
                 }
                 Action::Contribute {
                     array,
@@ -1315,10 +1636,21 @@ impl Runtime {
                 }
                 Action::Exit => self.exit_requested = true,
                 Action::Metric { name, value } => {
-                    self.metrics
-                        .entry(name)
-                        .or_default()
-                        .push((at.as_secs_f64(), value));
+                    if self.par.is_some() {
+                        // Buffered with the producing dispatch order; merged
+                        // back into sequential order after the run.
+                        self.metrics_buf.push(MetricSample {
+                            dispatch: self.cur_dispatch,
+                            name,
+                            at_secs: at.as_secs_f64(),
+                            value,
+                        });
+                    } else {
+                        self.metrics
+                            .entry(name)
+                            .or_default()
+                            .push((at.as_secs_f64(), value));
+                    }
                 }
                 Action::RequestQuiescence { cb } => {
                     assert!(self.qd.is_none(), "concurrent quiescence detections");
@@ -1343,8 +1675,12 @@ impl Runtime {
     pub(crate) fn route_and_schedule(&mut self, env: Box<Envelope>, at: SimTime) {
         let src = env.src_pe;
         let dst = env.dst;
-        let store = &self.stores[dst.array.0 as usize];
-        let Some((true_pe, epoch)) = store.locate(&dst.ix) else {
+        let Some((true_pe, epoch)) = self.locate_global(dst) else {
+            assert!(
+                self.par.is_none(),
+                "send to nonexistent element {dst:?} in parallel mode \
+                 (dynamic insertion is sequential-only)"
+            );
             self.limbo.entry(dst).or_default().push(env);
             return;
         };
@@ -1358,8 +1694,8 @@ impl Runtime {
         } else if !self.location_cache {
             // Ablation: no caching — every remote send queries the home PE.
             let home = self.home_pe(dst.array, &dst.ix);
-            let rtt = self.net.delay(src, home, ENVELOPE_BYTES)
-                + self.net.delay(home, src, ENVELOPE_BYTES);
+            let rtt = self.net.delay(src, home, ENVELOPE_BYTES, env.rec_id ^ TOKEN_RTT_REQ)
+                + self.net.delay(home, src, ENVELOPE_BYTES, env.rec_id ^ TOKEN_RTT_RESP);
             (true_pe, rtt)
         } else {
             match self.loc_cache[src].get(&dst) {
@@ -1370,8 +1706,8 @@ impl Runtime {
                 None => {
                     // Query the home PE first: request + response round trip.
                     let home = self.home_pe(dst.array, &dst.ix);
-                    let rtt = self.net.delay(src, home, ENVELOPE_BYTES)
-                        + self.net.delay(home, src, ENVELOPE_BYTES);
+                    let rtt = self.net.delay(src, home, ENVELOPE_BYTES, env.rec_id ^ TOKEN_RTT_REQ)
+                        + self.net.delay(home, src, ENVELOPE_BYTES, env.rec_id ^ TOKEN_RTT_RESP);
                     self.loc_cache[src].insert(dst, (true_pe, epoch));
                     (true_pe, rtt)
                 }
@@ -1382,9 +1718,8 @@ impl Runtime {
         } else {
             true_pe
         };
-        let delay = self.net.delay(src, target_pe, env.bytes);
+        let delay = self.net.delay(src, target_pe, env.bytes, env.rec_id);
         self.bytes_moved += env.bytes as u64;
-        self.inflight += 1;
         if let Some(tr) = &mut self.tracer {
             tr.on_send(at, src, target_pe, dst, env.bytes);
         }
@@ -1407,13 +1742,7 @@ impl Runtime {
             }
             _ => SimTime::ZERO,
         };
-        self.events.push(
-            at + extra + delay + jitter,
-            Ev::Deliver {
-                pe: target_pe,
-                env,
-            },
-        );
+        self.sched_deliver(at + extra + delay + jitter, target_pe, env);
     }
 
     /// Home PE of an index under its array's home map.
@@ -1431,26 +1760,26 @@ impl Runtime {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn do_broadcast(
         &mut self,
         array: ArrayId,
-        make: &dyn Fn() -> Box<dyn std::any::Any>,
+        make: &dyn Fn() -> Box<dyn std::any::Any + Send>,
         bytes: usize,
         prio: i64,
+        src: ObjId,
         src_pe: usize,
         at: SimTime,
     ) {
         // Spanning-tree cost: each level adds one small-message latency; all
         // leaves receive after depth hops (idealized balanced tree).
         let depth = self.tree_depth();
-        let level_cost = self.net.delay(0, 1.min(self.live_pes - 1), bytes);
+        let level_cost = self
+            .net
+            .delay(0, 1.min(self.live_pes - 1), bytes, self.cur_dispatch.1 ^ TOKEN_AUX);
         let tree_delay = SimTime(level_cost.0 * depth);
-        let targets = self.stores[array.0 as usize].indices();
-        for ix in targets {
+        for (ix, pe) in self.broadcast_targets(array) {
             let dst = ObjId { array, ix };
-            let Some(pe) = self.stores[array.0 as usize].element_pe(&ix) else {
-                continue;
-            };
             let rec_id = self.fresh_rec_id();
             if let Some(r) = &mut self.recorder {
                 r.note_origin(rec_id);
@@ -1463,16 +1792,19 @@ impl Runtime {
                 prio,
                 src_pe,
                 rec_id,
+                src_obj: Some(src),
             });
             self.bytes_moved += bytes as u64;
-            self.inflight += 1;
             if let Some(tr) = &mut self.tracer {
                 tr.on_send(at, src_pe, pe, dst, bytes);
             }
-            self.events.push(at + tree_delay, Ev::Deliver { pe, env });
+            self.sched_deliver(at + tree_delay, pe, env);
         }
     }
 
+    /// Buffer a contribution; reductions fold at window boundaries (in both
+    /// engines) so contributions from different shards combine in the exact
+    /// order the sequential engine dispatched the contributing entries.
     fn do_contribute(
         &mut self,
         array: ArrayId,
@@ -1482,7 +1814,47 @@ impl Runtime {
         cb: Callback,
         at: SimTime,
     ) {
-        let expected = self.stores[array.0 as usize].len();
+        self.pending_contribs.push(ContribRec {
+            merge_t: self.cur_dispatch.0,
+            merge_key: self.cur_dispatch.1,
+            at,
+            array,
+            tag,
+            value,
+            op,
+            cb,
+        });
+    }
+
+    /// Fold every buffered contribution in dispatch order. Completion
+    /// callbacks allocate keys from the reduction slot, so the callback's
+    /// delivery order is reproducible regardless of which shard folds.
+    pub(crate) fn fold_contributions(&mut self) {
+        if self.pending_contribs.is_empty() {
+            return;
+        }
+        let saved_slot = self.cur_slot;
+        self.cur_slot = self.red_slot();
+        let mut recs = std::mem::take(&mut self.pending_contribs);
+        recs.sort_by_key(|r| (r.merge_t, r.merge_key));
+        for rec in recs {
+            self.fold_one(rec);
+        }
+        self.cur_slot = saved_slot;
+    }
+
+    fn fold_one(&mut self, rec: ContribRec) {
+        let ContribRec {
+            merge_t: rec_merge_t,
+            merge_key,
+            at,
+            array,
+            tag,
+            value,
+            op,
+            cb,
+        } = rec;
+        let expected = self.array_len_global(array);
         let done = {
             let entry = self
                 .reductions
@@ -1508,11 +1880,23 @@ impl Runtime {
             let value = st.acc.expect("at least one contribution");
             // k-ary spanning tree: log_k(P) combine hops of the value size.
             let depth = self.tree_depth();
-            let hop = self
-                .net
-                .delay(0, 1.min(self.live_pes - 1), st.bytes + ENVELOPE_BYTES);
+            let hop = self.net.delay(
+                0,
+                1.min(self.live_pes - 1),
+                st.bytes + ENVELOPE_BYTES,
+                merge_key ^ TOKEN_AUX,
+            );
             let done = at + SimTime(hop.0 * depth);
+            // Attribute the callback sends to the completing contributor's
+            // exec (identified by dispatch key — shard-independent), not to
+            // whatever exec happens to surround this boundary fold.
+            if let Some(r) = &mut self.recorder {
+                r.origin_dispatch = Some((rec_merge_t, merge_key));
+            }
             self.deliver_callback_tree(st.cb, SysEvent::Reduction { tag, value }, done, depth);
+            if let Some(r) = &mut self.recorder {
+                r.origin_dispatch = None;
+            }
         }
     }
 
@@ -1536,7 +1920,7 @@ impl Runtime {
                 self.deliver_sys_tree(ObjId { array, ix }, ev, at, tree_depth);
             }
             Callback::BroadcastTo { array } => {
-                for ix in self.stores[array.0 as usize].indices() {
+                for (ix, _pe) in self.broadcast_targets(array) {
                     self.deliver_sys_tree(ObjId { array, ix }, ev.clone(), at, tree_depth);
                 }
             }
@@ -1557,7 +1941,7 @@ impl Runtime {
         at: SimTime,
         tree_depth: u64,
     ) {
-        let Some(pe) = self.stores[dst.array.0 as usize].element_pe(&dst.ix) else {
+        let Some(pe) = self.element_pe_global(dst) else {
             return;
         };
         let rec_id = self.fresh_rec_id();
@@ -1572,12 +1956,49 @@ impl Runtime {
             prio: i64::MIN + 1, // system events run promptly
             src_pe: pe,
             rec_id,
+            src_obj: None,
         });
-        self.inflight += 1;
-        self.events.push(
-            at + self.net.params().local_delivery,
-            Ev::Deliver { pe, env },
-        );
+        self.sched_deliver(at + self.net.params().local_delivery, pe, env);
+    }
+
+    // ----- location views (sequential store vs. shared parallel table) -------
+
+    /// Locate an element. Sequentially this is the store's live location;
+    /// in shard mode it is the run-global location table (locations are
+    /// frozen for the duration of a parallel run).
+    pub(crate) fn locate_global(&self, obj: ObjId) -> Option<(usize, u32)> {
+        match &self.par {
+            Some(par) => par.loc.locate(obj),
+            None => self.stores[obj.array.0 as usize].locate(&obj.ix),
+        }
+    }
+
+    /// PE hosting an element (global view; see [`Runtime::locate_global`]).
+    pub(crate) fn element_pe_global(&self, obj: ObjId) -> Option<usize> {
+        self.locate_global(obj).map(|(pe, _)| pe)
+    }
+
+    /// Number of elements in an array (global view).
+    pub(crate) fn array_len_global(&self, array: ArrayId) -> usize {
+        match &self.par {
+            Some(par) => par.loc.array_len(array),
+            None => self.stores[array.0 as usize].len(),
+        }
+    }
+
+    /// Sorted `(index, pe)` pairs of an array's elements (global view).
+    pub(crate) fn broadcast_targets(&self, array: ArrayId) -> Vec<(crate::Ix, usize)> {
+        match &self.par {
+            Some(par) => par.loc.targets(array),
+            None => {
+                let store = &self.stores[array.0 as usize];
+                store
+                    .indices()
+                    .into_iter()
+                    .filter_map(|ix| store.element_pe(&ix).map(|pe| (ix, pe)))
+                    .collect()
+            }
+        }
     }
 
     fn flush_limbo(&mut self, dst: ObjId) {
@@ -1601,13 +2022,18 @@ impl Runtime {
             .pack_element(&src.ix)
             .expect("packing an existing element");
         store.remove_element(&src.ix);
-        let delay = self.net.delay(from_pe, to, bytes.len() + ENVELOPE_BYTES);
+        let delay = self.net.delay(
+            from_pe,
+            to,
+            bytes.len() + ENVELOPE_BYTES,
+            self.cur_dispatch.1 ^ TOKEN_AUX,
+        );
         self.bytes_moved += (bytes.len() + ENVELOPE_BYTES) as u64;
         self.inflight += 1;
         if let Some(tr) = &mut self.tracer {
             tr.rts(at, TraceEventKind::Migration { obj: src, from_pe, to_pe: to });
         }
-        self.events.push(
+        self.push_ev(
             at + delay,
             Ev::MigrateArrive(Box::new(MigrateArrive {
                 dst: src,
@@ -1621,14 +2047,27 @@ impl Runtime {
     // ----- quiescence ---------------------------------------------------------
 
     fn maybe_detect_quiescence(&mut self) {
-        if self.qd.is_none() {
+        // Shard counters are shard-local, so quiescence is undetectable from
+        // inside a shard; `request_quiescence` is sequential-only anyway.
+        if self.qd.is_none() || self.par.is_some() {
             return;
         }
-        if self.inflight == 0 && self.queued == 0 && self.busy_pes == 0 {
+        // `pending_contribs` guard: a buffered (not-yet-folded) reduction is
+        // outstanding work even though no message carries it yet.
+        if self.inflight == 0
+            && self.queued == 0
+            && self.busy_pes == 0
+            && self.pending_contribs.is_empty()
+        {
             let cb = self.qd.take().expect("checked");
             // Two waves of a spanning-tree counting algorithm.
             let depth = self.tree_depth();
-            let hop = self.net.delay(0, 1.min(self.live_pes - 1), ENVELOPE_BYTES);
+            let hop = self.net.delay(
+                0,
+                1.min(self.live_pes - 1),
+                ENVELOPE_BYTES,
+                self.cur_dispatch.1 ^ TOKEN_AUX,
+            );
             let done = self.now + SimTime(hop.0 * depth * 2);
             self.deliver_callback_tree(cb, SysEvent::QuiescenceDetected, done, depth * 2);
         }
@@ -1660,7 +2099,12 @@ impl Runtime {
         if skip || self.lb.is_none() {
             // Resume immediately: a barrier's worth of cost only.
             let depth = self.tree_depth();
-            let hop = self.net.delay(0, 1.min(self.live_pes - 1), ENVELOPE_BYTES);
+            let hop = self.net.delay(
+                0,
+                1.min(self.live_pes - 1),
+                ENVELOPE_BYTES,
+                self.cur_dispatch.1 ^ TOKEN_AUX,
+            );
             let resume = at + SimTime(hop.0 * depth);
             // Loads must still be drained so the next window is fresh.
             for s in self.stores.iter_mut() {
@@ -1772,14 +2216,24 @@ impl Runtime {
 
         // --- modeled cost of the LB round -----------------------------------
         let depth = self.tree_depth();
-        let small_hop = self.net.delay(0, 1.min(self.live_pes - 1), ENVELOPE_BYTES);
+        let small_hop = self.net.delay(
+            0,
+            1.min(self.live_pes - 1),
+            ENVELOPE_BYTES,
+            self.cur_dispatch.1 ^ TOKEN_AUX,
+        );
         let stats_bytes = stats.objs.len() * 32;
         let collect_cost = if distributed {
             // Gossip rounds exchange O(1)-size summaries.
             SimTime(small_hop.0 * depth * 2)
         } else {
             // Centralized gather of all stats, then a scatter of decisions.
-            let gather = self.net.delay(0, 1.min(self.live_pes - 1), stats_bytes);
+            let gather = self.net.delay(
+                0,
+                1.min(self.live_pes - 1),
+                stats_bytes,
+                self.cur_dispatch.1 ^ TOKEN_AUX,
+            );
             SimTime(gather.0 + small_hop.0 * depth * 2)
         };
         let decision_cost = SimTime::from_secs_f64(decision_work / self.machine.flops_per_sec);
@@ -1822,7 +2276,12 @@ impl Runtime {
         }
         let max_out = per_pe_out.iter().copied().max().unwrap_or(0);
         let migrate_cost = if max_out > 0 {
-            self.net.delay(0, 1.min(self.live_pes - 1), max_out)
+            self.net.delay(
+                0,
+                1.min(self.live_pes - 1),
+                max_out,
+                self.cur_dispatch.1 ^ TOKEN_AUX,
+            )
         } else {
             SimTime::ZERO
         };
@@ -1834,7 +2293,7 @@ impl Runtime {
         let resume_at = at + total;
         for pe in 0..self.live_pes {
             self.pes[pe].blocked_until = self.pes[pe].blocked_until.max(resume_at);
-            self.events.push(resume_at, Ev::PeRetry { pe });
+            self.push_ev(resume_at, Ev::PeRetry { pe });
         }
 
         let imbalance_after = crate::lbframework::imbalance_of(

@@ -246,6 +246,13 @@ impl Ring {
     fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
         self.buf[self.next..].iter().chain(self.buf[..self.next].iter())
     }
+
+    /// Consume the ring into (records oldest-first, dropped count).
+    fn into_ordered(mut self) -> (Vec<TraceRecord>, u64) {
+        let n = self.next.min(self.buf.len());
+        self.buf.rotate_left(n);
+        (self.buf, self.dropped)
+    }
 }
 
 /// Streaming per-entry-method aggregate.
@@ -277,6 +284,17 @@ impl EntryAgg {
         self.max = self.max.max(dur);
         let bucket = (64 - dur.as_nanos().max(1).leading_zeros() as usize).min(63);
         self.hist[bucket] += 1;
+    }
+
+    /// Fold another aggregate in (shard merge); all fields commute.
+    fn merge(&mut self, o: &EntryAgg) {
+        self.count += o.count;
+        self.total += o.total;
+        self.min = self.min.min(o.min);
+        self.max = self.max.max(o.max);
+        for (a, b) in self.hist.iter_mut().zip(o.hist.iter()) {
+            *a += b;
+        }
     }
 }
 
@@ -348,6 +366,28 @@ impl UtilTimeline {
             }
             v[b] += e - s;
             s = e;
+        }
+    }
+
+    /// Fold another timeline in (shard merge): both are widened to the
+    /// coarser of the two bin widths, then bins add element-wise. Folding
+    /// distributes over addition, so the merged timeline is byte-identical
+    /// to one that saw every interval itself.
+    fn absorb(&mut self, mut o: UtilTimeline) {
+        while self.bin_ns < o.bin_ns {
+            self.fold();
+        }
+        while o.bin_ns < self.bin_ns {
+            o.fold();
+        }
+        for (pe, v) in o.per_pe.into_iter().enumerate() {
+            let dst = &mut self.per_pe[pe];
+            if dst.len() < v.len() {
+                dst.resize(v.len(), 0);
+            }
+            for (i, x) in v.into_iter().enumerate() {
+                dst[i] += x;
+            }
         }
     }
 
@@ -464,6 +504,57 @@ impl Tracer {
     /// LB/FT/DVFS/malleability ledger lines (time, text), oldest first.
     pub fn ledger(&self) -> &[(SimTime, String)] {
         &self.ledger
+    }
+
+    /// Per-track dropped-record counts (PE tracks then the RTS track) —
+    /// the per-shard breakdown behind [`Tracer::dropped_events`].
+    pub fn dropped_by_track(&self) -> Vec<u64> {
+        self.rings.iter().map(|r| r.dropped).collect()
+    }
+
+    /// Fold a shard tracer back in after a parallel run. The shard only
+    /// recorded on the PE tracks it owned (`lo..hi`, plus possibly the RTS
+    /// track on the coordinator shard), in dispatch order — so appending
+    /// its records track-by-track reproduces exactly what the sequential
+    /// engine would have pushed, including ring-overflow drop counts.
+    pub(crate) fn absorb_shard(&mut self, shard: Tracer, lo: usize, hi: usize) {
+        let Tracer {
+            rings,
+            profiles,
+            util,
+            comm_bytes,
+            comm_msgs,
+            busy_state,
+            ledger,
+            ledger_dropped,
+            ..
+        } = shard;
+        for (track, ring) in rings.into_iter().enumerate() {
+            let (records, dropped) = ring.into_ordered();
+            for rec in records {
+                self.rings[track].push(rec);
+            }
+            self.rings[track].dropped += dropped;
+        }
+        for (k, agg) in profiles {
+            self.profiles
+                .entry(k)
+                .or_insert_with(EntryAgg::new)
+                .merge(&agg);
+        }
+        self.util.absorb(util);
+        for (a, b) in self.comm_bytes.iter_mut().zip(comm_bytes) {
+            *a += b;
+        }
+        for (a, b) in self.comm_msgs.iter_mut().zip(comm_msgs) {
+            *a += b;
+        }
+        let hi = hi.min(self.busy_state.len());
+        self.busy_state[lo..hi].copy_from_slice(&busy_state[lo..hi]);
+        for (t, line) in ledger {
+            self.ledger_line(t, line);
+        }
+        self.ledger_dropped += ledger_dropped;
     }
 
     // ----- recording hooks (crate-internal) --------------------------------

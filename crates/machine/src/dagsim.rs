@@ -62,6 +62,11 @@ pub struct DagEdge {
     /// Control-message size of a preceding location-query round trip
     /// (0 = none); charged as two extra small-message delays.
     pub rtt_bytes: usize,
+    /// Jitter token the delay is priced with. The runtime prices every
+    /// message with its `rec_id`, so passing the recorded message id here
+    /// makes the what-if replay draw the *same* seeded jitter samples an
+    /// actual run on the target machine would.
+    pub token: u64,
 }
 
 /// Outcome of a what-if DAG replay.
@@ -134,15 +139,18 @@ pub fn simulate_dag(
         src_pe: usize,
         dst_pe: usize,
     ) -> SimTime {
+        let token = e.token;
         let mut d = if e.tree_depth > 0 {
-            let level = net.delay(0, 1.min(p.saturating_sub(1)), e.bytes);
+            let level = net.delay(0, 1.min(p.saturating_sub(1)), e.bytes, token);
             SimTime(level.0 * e.tree_depth as u64)
         } else {
-            net.delay(src_pe, dst_pe, e.bytes)
+            net.delay(src_pe, dst_pe, e.bytes, token)
         };
         if e.rtt_bytes > 0 {
             // Home-PE location query: request + response, envelope-sized.
-            d = d + net.delay(src_pe, dst_pe, e.rtt_bytes) + net.delay(dst_pe, src_pe, e.rtt_bytes);
+            d = d
+                + net.delay(src_pe, dst_pe, e.rtt_bytes, token ^ (1 << 62))
+                + net.delay(dst_pe, src_pe, e.rtt_bytes, token ^ (2 << 62));
         }
         d
     }
@@ -233,6 +241,7 @@ mod tests {
                 bytes: 128,
                 tree_depth: 0,
                 rtt_bytes: 0,
+                token: i as u64,
             })
             .collect();
         (nodes, edges)
@@ -267,6 +276,7 @@ mod tests {
             bytes: 64,
             tree_depth: 0,
             rtt_bytes: 0,
+            token: 0,
         }];
         for pe in 0..4 {
             nodes.push(DagNode {
@@ -281,6 +291,7 @@ mod tests {
                 bytes: 1024,
                 tree_depth: 0,
                 rtt_bytes: 0,
+                token: pe as u64 + 1,
             });
         }
         let r = simulate_dag(&m, SimTime::from_nanos(250), &nodes, &edges, 1);
@@ -313,6 +324,7 @@ mod tests {
             bytes: 1,
             tree_depth: 0,
             rtt_bytes: 0,
+            token: 99,
         });
         simulate_dag(&m, SimTime::ZERO, &nodes, &edges, 1);
     }

@@ -62,6 +62,22 @@ impl<T> EventQueue<T> {
         });
     }
 
+    /// Schedule `payload` at `time` under a caller-supplied tie-break key.
+    ///
+    /// Same-time events pop in ascending `key` order. This is how the
+    /// sharded engine keeps one global total order: keys are allocated from
+    /// per-PE counters that advance identically whether the simulation runs
+    /// on one thread or many, so `(time, key)` is mode-independent where
+    /// the implicit insertion sequence is not. Keys must be unique among
+    /// live entries; mixing `push` and `push_keyed` in one queue is allowed
+    /// only if the caller keeps the two key spaces disjoint.
+    pub fn push_keyed(&mut self, time: SimTime, key: u64, payload: T) {
+        self.heap.push(Entry {
+            key: Reverse((time, key)),
+            payload,
+        });
+    }
+
     /// Remove and return the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
         self.heap.pop().map(|e| (e.key.0 .0, e.payload))
@@ -135,12 +151,42 @@ impl<T> EventQueue<T> {
         self.heap.is_empty()
     }
 
+    /// Current allocated capacity of the underlying heap.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
+    /// Remove every pending entry with its `(time, key)` coordinates, in
+    /// pop order. Used to partition a queue across shards; re-inserting the
+    /// entries elsewhere with [`push_keyed`](Self::push_keyed) preserves the
+    /// total order.
+    pub fn drain_entries(&mut self) -> Vec<(SimTime, u64, T)> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(e) = self.heap.pop() {
+            out.push((e.key.0 .0, e.key.0 .1, e.payload));
+        }
+        out
+    }
+
+    /// Capacity retained across [`clear`](Self::clear). Queues grow to the
+    /// high-water mark of a run; anything beyond this cap is returned to
+    /// the allocator on clear so long campaigns of many simulations don't
+    /// pin peak memory forever.
+    pub const CLEAR_RETAIN_CAP: usize = 1 << 12;
+
     /// Drop all pending events (used when a simulation is aborted) and
     /// reset the tie-break sequence, so a cleared queue is indistinguishable
     /// from a fresh one — reruns after an abort stay deterministic.
+    ///
+    /// Capacity above [`CLEAR_RETAIN_CAP`](Self::CLEAR_RETAIN_CAP) is
+    /// released; a modest working buffer is kept so clear-then-refill
+    /// cycles don't pay reallocation from zero.
     pub fn clear(&mut self) {
         self.heap.clear();
         self.seq = 0;
+        if self.heap.capacity() > Self::CLEAR_RETAIN_CAP {
+            self.heap.shrink_to(Self::CLEAR_RETAIN_CAP);
+        }
     }
 }
 
@@ -276,6 +322,58 @@ mod tests {
         q.restore(t, seq_b, b);
         assert_eq!(q.pop().unwrap().1, "b");
         assert_eq!(q.pop().unwrap().1, "c");
+    }
+
+    #[test]
+    fn keyed_pushes_order_ties_by_key_not_arrival() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        q.push_keyed(t, 30, "c");
+        q.push_keyed(t, 10, "a");
+        q.push_keyed(SimTime::from_nanos(4), 99, "first");
+        q.push_keyed(t, 20, "b");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+    }
+
+    #[test]
+    fn drain_entries_roundtrips_through_push_keyed() {
+        let mut q = EventQueue::new();
+        q.push_keyed(SimTime::from_nanos(2), 7, "b");
+        q.push_keyed(SimTime::from_nanos(1), 9, "a");
+        q.push_keyed(SimTime::from_nanos(2), 3, "c");
+        let entries = q.drain_entries();
+        assert!(q.is_empty());
+        let mut q2 = EventQueue::new();
+        for (t, k, p) in entries {
+            q2.push_keyed(t, k, p);
+        }
+        assert_eq!(q2.pop().unwrap().1, "a");
+        assert_eq!(q2.pop().unwrap().1, "c");
+        assert_eq!(q2.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn clear_releases_high_water_capacity() {
+        let mut q = EventQueue::new();
+        let n = EventQueue::<u64>::CLEAR_RETAIN_CAP * 4;
+        for i in 0..n as u64 {
+            q.push(SimTime::from_nanos(i), i);
+        }
+        assert!(q.capacity() >= n, "grew to the high-water mark");
+        q.clear();
+        assert!(q.is_empty());
+        assert!(
+            q.capacity() <= EventQueue::<u64>::CLEAR_RETAIN_CAP,
+            "clear retained {} entries of capacity (cap {})",
+            q.capacity(),
+            EventQueue::<u64>::CLEAR_RETAIN_CAP,
+        );
+        // Still fully usable after the shrink.
+        q.push(SimTime::from_nanos(1), 42);
+        assert_eq!(q.pop().unwrap().1, 42);
     }
 
     #[test]

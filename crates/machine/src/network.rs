@@ -2,8 +2,6 @@
 //! costs and seeded jitter.
 
 use crate::{SimTime, Torus};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Static parameters of a network (cloneable machine-description half).
 #[derive(Debug, Clone)]
@@ -106,12 +104,25 @@ pub struct NetCounters {
     pub local_msgs: u64,
 }
 
-/// The stateful network model (owns the jitter RNG).
+/// The stateful network model (seeded jitter, activity counters).
+///
+/// Jitter is a pure function of `(seed, token)` rather than a draw from a
+/// sequential RNG stream: every delay evaluation is independent of how many
+/// evaluations preceded it, so a simulation sharded across worker threads
+/// prices each message identically to the single-threaded run.
 pub struct NetworkModel {
     params: NetworkParams,
     torus: Option<Torus>,
-    rng: StdRng,
+    jitter_seed: u64,
     counters: NetCounters,
+}
+
+/// SplitMix64 finalizer — mixes a token into 64 well-distributed bits.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl NetworkModel {
@@ -121,9 +132,27 @@ impl NetworkModel {
         NetworkModel {
             params,
             torus,
-            rng: StdRng::seed_from_u64(seed ^ 0x006e_6574_776f_726b_u64),
+            jitter_seed: seed ^ 0x006e_6574_776f_726b_u64,
             counters: NetCounters::default(),
         }
+    }
+
+    /// A copy of this model with zeroed counters — per-shard models start
+    /// from the same pricing function but account their own traffic.
+    pub fn fresh_counters_clone(&self) -> Self {
+        NetworkModel {
+            params: self.params.clone(),
+            torus: self.torus.clone(),
+            jitter_seed: self.jitter_seed,
+            counters: NetCounters::default(),
+        }
+    }
+
+    /// Fold another model's counters into this one (shard merge).
+    pub fn absorb_counters(&mut self, other: &NetworkModel) {
+        self.counters.remote_msgs += other.counters.remote_msgs;
+        self.counters.remote_bytes += other.counters.remote_bytes;
+        self.counters.local_msgs += other.counters.local_msgs;
     }
 
     /// Static parameters.
@@ -139,8 +168,11 @@ impl NetworkModel {
     /// One-way delivery delay for a `bytes`-byte message from `src` to `dst`.
     ///
     /// Same-PE messages cost only the scheduler hop. Jitter, when enabled,
-    /// multiplies the network portion by `1 ± U(0, jitter)`.
-    pub fn delay(&mut self, src: usize, dst: usize, bytes: usize) -> SimTime {
+    /// multiplies the network portion by `1 ± jitter·u` with `u ∈ [-1, 1]`
+    /// derived by hashing `token` with the model seed; callers pass a
+    /// deterministic per-message token (message id, collective tag, …) so
+    /// the same message always sees the same perturbation.
+    pub fn delay(&mut self, src: usize, dst: usize, bytes: usize, token: u64) -> SimTime {
         if src == dst {
             self.counters.local_msgs += 1;
             return self.params.local_delivery;
@@ -157,12 +189,24 @@ impl NetworkModel {
         };
         let base = self.params.alpha + transfer + hop_cost;
         let jittered = if self.params.jitter > 0.0 {
-            let f = 1.0 + self.rng.gen_range(-self.params.jitter..=self.params.jitter);
-            base * f
+            // 53 mixed bits → u ∈ [0, 2) → centered to [-1, 1].
+            let bits = mix64(self.jitter_seed.wrapping_add(mix64(token)));
+            let unit = (bits >> 11) as f64 / (1u64 << 52) as f64 - 1.0;
+            base * (1.0 + self.params.jitter * unit)
         } else {
             base
         };
         self.params.injection_overhead + jittered
+    }
+
+    /// Worst-case lower bound of [`delay`](Self::delay) for any remote
+    /// message: the conservative-window width of the sharded engine. Every
+    /// cross-PE delivery takes at least this long after its send.
+    pub fn min_remote_delay(&self) -> SimTime {
+        let worst = self.params.alpha * (1.0 - self.params.jitter.clamp(0.0, 1.0));
+        // 2 ns guard: SimTime × f64 rounds to the nearest nanosecond, so an
+        // actual jittered delay can land just under the analytic bound.
+        (self.params.injection_overhead + worst).saturating_sub(SimTime::from_nanos(2))
     }
 
     /// Send-side CPU overhead charged to the sender for each message.
@@ -178,8 +222,8 @@ mod tests {
     #[test]
     fn local_delivery_is_cheap() {
         let mut n = NetworkModel::new(NetworkParams::infiniband(), 1);
-        let local = n.delay(3, 3, 1_000_000);
-        let remote = n.delay(3, 4, 1_000_000);
+        let local = n.delay(3, 3, 1_000_000, 0);
+        let remote = n.delay(3, 4, 1_000_000, 0);
         assert!(local < remote);
         assert_eq!(local, NetworkParams::infiniband().local_delivery);
     }
@@ -187,52 +231,84 @@ mod tests {
     #[test]
     fn bigger_messages_cost_more() {
         let mut n = NetworkModel::new(NetworkParams::infiniband(), 1);
-        assert!(n.delay(0, 1, 10) < n.delay(0, 1, 1_000_000));
+        assert!(n.delay(0, 1, 10, 0) < n.delay(0, 1, 1_000_000, 0));
     }
 
     #[test]
     fn torus_distance_matters() {
         let mut n = NetworkModel::new(NetworkParams::bgq_torus(vec![8, 8]), 1);
-        let near = n.delay(0, 1, 64); // 1 hop
-        let far = n.delay(0, 8 * 4 + 4, 64); // (4,4): 8 hops
+        let near = n.delay(0, 1, 64, 0); // 1 hop
+        let far = n.delay(0, 8 * 4 + 4, 64, 0); // (4,4): 8 hops
         assert!(near < far, "near={near} far={far}");
     }
 
     #[test]
-    fn jitter_is_bounded_and_seeded() {
+    fn jitter_is_bounded_seeded_and_token_pure() {
         let p = NetworkParams::ethernet_1g();
         let mut a = NetworkModel::new(p.clone(), 7);
         let mut b = NetworkModel::new(p.clone(), 7);
-        for _ in 0..100 {
-            let da = a.delay(0, 1, 1000);
-            let db = b.delay(0, 1, 1000);
-            assert_eq!(da, db, "same seed must give identical jitter");
-            let mut det = NetworkModel::new(
-                NetworkParams {
-                    jitter: 0.0,
-                    ..p.clone()
-                },
-                0,
-            );
-            let base = det.delay(0, 1, 1000).saturating_sub(p.injection_overhead);
-            let lo = base * (1.0 - p.jitter);
-            let hi = base * (1.0 + p.jitter) + SimTime::from_nanos(2);
+        let mut det = NetworkModel::new(
+            NetworkParams {
+                jitter: 0.0,
+                ..p.clone()
+            },
+            0,
+        );
+        let base = det.delay(0, 1, 1000, 0).saturating_sub(p.injection_overhead);
+        let lo = base * (1.0 - p.jitter);
+        let hi = base * (1.0 + p.jitter) + SimTime::from_nanos(2);
+        let mut distinct = std::collections::HashSet::new();
+        for tok in 0..100u64 {
+            let da = a.delay(0, 1, 1000, tok);
+            let db = b.delay(0, 1, 1000, tok);
+            assert_eq!(da, db, "same (seed, token) must give identical jitter");
             let net = da.saturating_sub(p.injection_overhead);
-            assert!(net >= lo && net <= hi, "jitter out of bounds");
+            assert!(net + SimTime::from_nanos(2) >= lo && net <= hi, "jitter out of bounds");
+            distinct.insert(da);
         }
+        assert!(distinct.len() > 50, "tokens should spread the jitter");
+        // Pure in the token: re-evaluating an old token after other calls
+        // reproduces the original value (no hidden stream state).
+        let first = a.delay(0, 1, 1000, 0);
+        let again = b.delay(0, 1, 1000, 0);
+        assert_eq!(first, again);
+        // Every jittered delay respects the conservative window bound.
+        let floor = a.fresh_counters_clone().min_remote_delay();
+        for tok in 0..100u64 {
+            assert!(a.delay(0, 1, 0, tok) >= floor, "delay under min_remote_delay");
+        }
+        // Different seeds disagree somewhere.
+        let mut c = NetworkModel::new(p.clone(), 8);
+        let diverged = (0..100u64).any(|tok| c.delay(0, 1, 1000, tok) != b.delay(0, 1, 1000, tok));
+        assert!(diverged, "different seeds should perturb differently");
+    }
+
+    #[test]
+    fn min_remote_delay_bounds_jitterless_fabrics_exactly() {
+        let mut n = NetworkModel::new(NetworkParams::infiniband(), 1);
+        let floor = n.min_remote_delay();
+        assert!(n.delay(0, 1, 0, 0) >= floor);
+        assert!(floor > SimTime::ZERO);
     }
 
     #[test]
     fn counters_track_delay_calls() {
         let mut n = NetworkModel::new(NetworkParams::infiniband(), 1);
         assert_eq!(n.counters(), NetCounters::default());
-        n.delay(0, 0, 100);
-        n.delay(0, 1, 100);
-        n.delay(1, 2, 50);
+        n.delay(0, 0, 100, 0);
+        n.delay(0, 1, 100, 1);
+        n.delay(1, 2, 50, 2);
         let c = n.counters();
         assert_eq!(c.local_msgs, 1);
         assert_eq!(c.remote_msgs, 2);
         assert_eq!(c.remote_bytes, 150);
+        // Shard bookkeeping: fresh clones start at zero and merge back.
+        let mut shard = n.fresh_counters_clone();
+        assert_eq!(shard.counters(), NetCounters::default());
+        shard.delay(0, 1, 30, 3);
+        n.absorb_counters(&shard);
+        assert_eq!(n.counters().remote_msgs, 3);
+        assert_eq!(n.counters().remote_bytes, 180);
     }
 
     #[test]
@@ -246,6 +322,6 @@ mod tests {
             1,
         );
         // order-of-magnitude gap on small messages, as measured in §IV-F
-        assert!(eth.delay(0, 1, 64).as_nanos() > 10 * ib.delay(0, 1, 64).as_nanos());
+        assert!(eth.delay(0, 1, 64, 0).as_nanos() > 10 * ib.delay(0, 1, 64, 0).as_nanos());
     }
 }

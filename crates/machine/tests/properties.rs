@@ -67,8 +67,8 @@ proptest! {
     fn network_delay_monotone(bytes_a in 0usize..1_000_000, bytes_b in 0usize..1_000_000) {
         let mut net = NetworkModel::new(NetworkParams::infiniband(), 1);
         let (small, large) = if bytes_a <= bytes_b { (bytes_a, bytes_b) } else { (bytes_b, bytes_a) };
-        prop_assert!(net.delay(0, 1, small) <= net.delay(0, 1, large));
-        prop_assert_eq!(net.delay(2, 5, small), net.delay(5, 2, small));
+        prop_assert!(net.delay(0, 1, small, 0) <= net.delay(0, 1, large, 0));
+        prop_assert_eq!(net.delay(2, 5, small, 0), net.delay(5, 2, small, 0));
     }
 
     /// The event queue pops in nondecreasing time order for arbitrary

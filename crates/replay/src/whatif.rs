@@ -114,6 +114,9 @@ pub fn whatif(log: &ReplayLog, machine: &MachineConfig) -> WhatIfReport {
                 bytes: s.bytes as usize,
                 tree_depth: rescale_depth(s.tree_depth),
                 rtt_bytes: s.rtt_bytes as usize,
+                // The runtime prices delays with the message's rec_id;
+                // reusing it replays the same seeded jitter stream.
+                token: s.msg_id,
             },
             // Defensive: a consumed message we never saw routed becomes an
             // externally injected point-to-point edge of its recorded size.
@@ -123,6 +126,7 @@ pub fn whatif(log: &ReplayLog, machine: &MachineConfig) -> WhatIfReport {
                 bytes: e.msg_bytes as usize,
                 tree_depth: 0,
                 rtt_bytes: 0,
+                token: e.msg_id,
             },
         })
         .collect();

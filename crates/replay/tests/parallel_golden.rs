@@ -1,0 +1,105 @@
+//! Parallel-engine golden replay: re-record the hot-path workloads with the
+//! sharded engine (`--threads 2` and `4`) and demand the resulting `.rlog`
+//! is **byte-identical** to the committed goldens, which were recorded by
+//! the sequential scheduler. This pins the strongest claim the parallel
+//! engine makes: not just same final state, but the same executed entries
+//! in the same order with the same timings, digests, and message routing.
+//!
+//! There is deliberately no blessing path here — if these diverge, the
+//! parallel engine is wrong (or `hotpath_regression` needs a re-bless
+//! first, after which these must again match with no further action).
+
+use charm_apps::{leanmd, pdes, stencil};
+use charm_core::ReplayConfig;
+use charm_machine::presets;
+use charm_replay::{load, save, verify};
+use std::path::PathBuf;
+
+fn golden_path(app: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{app}.rlog"))
+}
+
+fn check(app: &str, threads: usize, mut rt: charm_core::Runtime) {
+    assert!(
+        rt.last_run_parallel(),
+        "{app} threads {threads}: engine silently fell back to sequential; \
+         this golden comparison would only repeat hotpath_regression"
+    );
+    let mut log = rt.take_replay_log().expect("recording on");
+    log.app = app.to_string();
+    let golden = load(&golden_path(app)).expect("golden log exists (hotpath_regression blesses)");
+    let report = verify(&golden, &log);
+    assert!(
+        report.ok(),
+        "{app} threads {threads}: parallel recording diverged from sequential golden:\n{report}"
+    );
+
+    let tmp = std::env::temp_dir().join(format!(
+        "charm_pargold_{app}_{threads}_{}.rlog",
+        std::process::id()
+    ));
+    save(&log, &tmp).unwrap();
+    let fresh = std::fs::read(&tmp).unwrap();
+    let _ = std::fs::remove_file(&tmp);
+    let golden_bytes = std::fs::read(golden_path(app)).unwrap();
+    assert_eq!(
+        fresh, golden_bytes,
+        "{app} threads {threads}: parallel .rlog is not byte-identical to the sequential golden"
+    );
+}
+
+fn stencil_rt(threads: usize) -> charm_core::Runtime {
+    let mut cfg = stencil::StencilConfig::cloud_4k(presets::cloud(8), 2);
+    cfg.steps = 5;
+    cfg.record = Some(ReplayConfig::with_digest_every(64));
+    cfg.threads = threads;
+    stencil::run_with_runtime(cfg).1
+}
+
+fn leanmd_rt(threads: usize) -> charm_core::Runtime {
+    let cfg = leanmd::LeanMdConfig {
+        cells_per_dim: 3,
+        atoms_per_cell: 20,
+        steps: 3,
+        record: Some(ReplayConfig::with_digest_every(128)),
+        threads,
+        ..Default::default()
+    };
+    leanmd::run_with_runtime(cfg).1
+}
+
+fn pdes_rt(threads: usize) -> charm_core::Runtime {
+    let cfg = pdes::PdesConfig {
+        machine: charm_core::MachineConfig::homogeneous(8),
+        lps_per_pe: 8,
+        initial_events_per_lp: 8,
+        windows: 4,
+        record: Some(ReplayConfig::with_digest_every(256)),
+        threads,
+        ..Default::default()
+    };
+    pdes::run_with_runtime(cfg).1
+}
+
+#[test]
+fn stencil_parallel_recording_matches_golden() {
+    for threads in [2, 4] {
+        check("stencil", threads, stencil_rt(threads));
+    }
+}
+
+#[test]
+fn leanmd_parallel_recording_matches_golden() {
+    for threads in [2, 4] {
+        check("leanmd", threads, leanmd_rt(threads));
+    }
+}
+
+#[test]
+fn pdes_parallel_recording_matches_golden() {
+    for threads in [2, 4] {
+        check("pdes", threads, pdes_rt(threads));
+    }
+}

@@ -43,7 +43,7 @@ pub fn mpi_multiway(machine: &MachineConfig, keys: Vec<Vec<u64>>) -> MultiwayRes
     let secs = |work: f64| SimTime::from_secs_f64(work / flops);
     let barrier = {
         let depth = (p.max(2) as f64).log2().ceil() as u64;
-        let hop = net.delay(0, 1.min(p - 1), 64);
+        let hop = net.delay(0, 1.min(p - 1), 64, 0);
         SimTime(hop.0 * depth)
     };
 
@@ -85,13 +85,13 @@ pub fn mpi_multiway(machine: &MachineConfig, keys: Vec<Vec<u64>>) -> MultiwayRes
     let gather_bytes = SAMPLES_PER_RANK * 8;
     let mut gather = SimTime::ZERO;
     for src in 1..p {
-        gather += net.delay(src, 0, gather_bytes);
+        gather += net.delay(src, 0, gather_bytes, src as u64);
     }
     let ns = (p * SAMPLES_PER_RANK) as f64;
     let root_sort = secs(ns * SORT_FLOPS * ns.max(2.0).log2());
     let bcast = {
         let depth = (p.max(2) as f64).log2().ceil() as u64;
-        let hop = net.delay(0, 1.min(p - 1), (p - 1) * 8);
+        let hop = net.delay(0, 1.min(p - 1), (p - 1) * 8, 1);
         SimTime(hop.0 * depth)
     };
     let root_time = gather + root_sort;
@@ -114,7 +114,7 @@ pub fn mpi_multiway(machine: &MachineConfig, keys: Vec<Vec<u64>>) -> MultiwayRes
             if sz > 0 {
                 // Synchronous pairwise exchange: sender pays the full
                 // round-trip-ish cost per partner (no overlap).
-                cost += net.delay(0, dst.max(1).min(p - 1), sz * 8);
+                cost += net.delay(0, dst.max(1).min(p - 1), sz * 8, dst as u64);
             }
         }
         max_rank_a2a = max_rank_a2a.max(cost);
