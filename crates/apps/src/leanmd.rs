@@ -60,8 +60,12 @@ pub struct LeanMdConfig {
     pub fail_at: Option<(SimTime, usize)>,
     /// Additional node failures: (virtual time, any PE on the node).
     pub failures: Vec<(SimTime, usize)>,
+    /// Spot preemptions: (kill time, any PE on the node, warning lead).
+    pub preemptions: Vec<(SimTime, usize, SimTime)>,
     /// Shrink/expand commands: (virtual time, new PE count).
     pub reconfigure: Vec<(SimTime, usize)>,
+    /// Closed-loop elastic controller (None = static PE set).
+    pub elastic: Option<charm_core::ElasticConfig>,
     /// LB strategy.
     pub strategy: Option<Box<dyn Strategy>>,
     /// Seed.
@@ -91,7 +95,9 @@ impl Default for LeanMdConfig {
             auto_ckpt: None,
             fail_at: None,
             failures: Vec::new(),
+            preemptions: Vec::new(),
             reconfigure: Vec::new(),
+            elastic: None,
             strategy: None,
             seed: 42,
             trace: None,
@@ -552,6 +558,9 @@ pub fn run_with_runtime(mut config: LeanMdConfig) -> (AppRun, Runtime) {
     if let Some(pc) = config.perturb.take() {
         b = b.perturb(pc);
     }
+    if let Some(ec) = config.elastic.take() {
+        b = b.elastic(ec);
+    }
     let has_strategy = config.strategy.is_some();
     if let Some(s) = config.strategy.take() {
         b = b.strategy(s);
@@ -663,6 +672,9 @@ pub fn run_with_runtime(mut config: LeanMdConfig) -> (AppRun, Runtime) {
     }
     for (t, pe) in &config.failures {
         rt.schedule_failure(*t, *pe);
+    }
+    for (t, pe, warning) in &config.preemptions {
+        rt.schedule_preemption(*t, *pe, *warning);
     }
     for (t, to) in &config.reconfigure {
         rt.schedule_reconfigure(*t, *to);

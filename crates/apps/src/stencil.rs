@@ -38,6 +38,10 @@ pub struct StencilConfig {
     pub auto_ckpt: Option<SimTime>,
     /// PE failures to inject, as `(time, pe)` pairs.
     pub failures: Vec<(SimTime, usize)>,
+    /// Spot preemptions: (kill time, any PE on the node, warning lead).
+    pub preemptions: Vec<(SimTime, usize, SimTime)>,
+    /// Closed-loop elastic controller (None = static PE set).
+    pub elastic: Option<charm_core::ElasticConfig>,
     /// RNG seed.
     pub seed: u64,
     /// Record a replay log (None = off; see `charm_core::replay`).
@@ -67,6 +71,8 @@ impl StencilConfig {
             dvfs_period: SimTime::from_secs(1),
             auto_ckpt: None,
             failures: Vec::new(),
+            preemptions: Vec::new(),
+            elastic: None,
             seed: 42,
             record: None,
             perturb: None,
@@ -298,9 +304,15 @@ pub fn run_with_runtime(mut config: StencilConfig) -> (AppRun, Runtime) {
     if let Some(tc) = config.trace.take() {
         b = b.tracing(tc);
     }
+    if let Some(ec) = config.elastic.take() {
+        b = b.elastic(ec);
+    }
     let mut rt = b.build();
     for (t, pe) in &config.failures {
         rt.schedule_failure(*t, *pe);
+    }
+    for (t, pe, warning) in &config.preemptions {
+        rt.schedule_preemption(*t, *pe, *warning);
     }
 
     let blocks: ArrayProxy<Block> = rt.create_array("stencil_blocks");

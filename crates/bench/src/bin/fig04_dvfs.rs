@@ -31,6 +31,8 @@ fn config(scheme: DvfsScheme, with_lb: bool, scale: Scale) -> StencilConfig {
         dvfs_period: SimTime::from_millis(scale.pick(200, 1000)),
         auto_ckpt: None,
         failures: Vec::new(),
+        preemptions: Vec::new(),
+        elastic: None,
         seed: 42,
         record: None,
         perturb: None,

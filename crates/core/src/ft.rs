@@ -231,6 +231,148 @@ impl Runtime {
         }
     }
 
+    /// Handle a spot-preemption announcement: the node containing `pe` will
+    /// be reclaimed at `deadline` (§IV-F cloud story). When the remaining
+    /// warning covers the modeled evacuation cost, every chare is drained
+    /// off the doomed PEs *before* the kill — the later [`Ev::NodeFail`]
+    /// then finds no alive PE on the node and becomes a no-op, so the run
+    /// pays migration cost instead of a rollback. Too-short warnings
+    /// degrade gracefully to the ordinary checkpoint/restart path.
+    pub(crate) fn on_preempt_warn(&mut self, pe: usize, deadline: SimTime) {
+        if pe >= self.pes.len() {
+            return;
+        }
+        let node = self.machine.node_of(pe);
+        let doomed: Vec<usize> = self
+            .machine
+            .node_pe_range(node)
+            .filter(|&p| p < self.live_pes && self.pes[p].alive && !self.retired[p])
+            .collect();
+        if doomed.is_empty() {
+            return;
+        }
+        // The platform never hands a preempted instance back: retire the
+        // PEs now so neither a restart nor a later expand resurrects them.
+        for &p in &doomed {
+            self.retired[p] = true;
+        }
+        let survivors: Vec<usize> = (0..self.live_pes)
+            .filter(|&p| self.pes[p].alive && !doomed.contains(&p))
+            .collect();
+
+        // Evacuation cost model: each doomed PE streams its chares to the
+        // survivors concurrently (max over doomed PEs), plus one barrier to
+        // agree the node is drained.
+        let mut evac: Vec<(ObjId, Vec<u8>)> = Vec::new();
+        let mut per_pe_bytes = vec![0usize; self.machine.num_pes];
+        for s in self.stores.iter_mut() {
+            let id = s.id();
+            for &p in &doomed {
+                for ix in s.indices_on_pe(p) {
+                    let b = s.pack_element(&ix).expect("listed element");
+                    per_pe_bytes[p] += b.len();
+                    evac.push((ObjId { array: id, ix }, b));
+                }
+            }
+        }
+        let max_bytes = doomed
+            .iter()
+            .map(|&p| per_pe_bytes[p])
+            .max()
+            .unwrap_or(0);
+        let transfer = if !survivors.is_empty() && max_bytes > 0 {
+            self.net.delay(
+                doomed[0],
+                survivors[0],
+                max_bytes + ENVELOPE_BYTES,
+                self.cur_dispatch.1 ^ TOKEN_AUX,
+            )
+        } else {
+            SimTime::ZERO
+        };
+        let evac_cost = transfer + self.barrier_cost();
+        let proactive = !survivors.is_empty() && self.now + evac_cost <= deadline;
+
+        if let Some(tr) = &mut self.tracer {
+            tr.rts(
+                self.now,
+                TraceEventKind::PreemptWarning {
+                    first_pe: doomed[0],
+                    num_pes: doomed.len(),
+                    deadline,
+                    proactive,
+                },
+            );
+        }
+        if !proactive {
+            // Warning too short (or nowhere to go): let the scheduled
+            // NodeFail take the buddy-checkpoint restart path.
+            self.metrics
+                .entry("preempt_short".into())
+                .or_default()
+                .push((self.now.as_secs_f64(), doomed.len() as f64));
+            return;
+        }
+
+        // ---- proactive drain: migrate every chare off the node --------------
+        let n_chares = evac.len();
+        for (rr, (obj, bytes)) in evac.into_iter().enumerate() {
+            let target = survivors[rr % survivors.len()];
+            let store = &mut self.stores[obj.array.0 as usize];
+            store.remove_element(&obj.ix);
+            store.unpack_insert(obj.ix, target, &bytes);
+            self.bytes_moved += (bytes.len() + ENVELOPE_BYTES) as u64;
+        }
+        // Take the doomed PEs down: requeue their stranded envelopes (the
+        // evacuated chares will receive them at their new homes), release
+        // the busy accounting, and mark them dead.
+        let mut stranded = Vec::new();
+        for &p in &doomed {
+            let st = &mut self.pes[p];
+            self.queued -= st.pending.len() as u64;
+            while let Some(q) = st.pending.pop() {
+                stranded.push(q.env);
+            }
+            if st.busy {
+                st.busy = false;
+                st.current = None;
+                self.busy_pes -= 1;
+            }
+            st.alive = false;
+            if let Some(tr) = &mut self.tracer {
+                tr.pe_transition(self.now, p, false);
+            }
+        }
+        for c in self.loc_cache.iter_mut() {
+            c.clear();
+        }
+        for env in stranded {
+            self.route_and_schedule(env, self.now);
+        }
+        let done = self.now + evac_cost;
+        self.block_all_pes(done);
+
+        if let Some(tr) = &mut self.tracer {
+            tr.rts(
+                self.now,
+                TraceEventKind::Evacuation {
+                    chares: n_chares,
+                    first_pe: doomed[0],
+                    num_pes: doomed.len(),
+                },
+            );
+        }
+        self.metrics
+            .entry("evacuations".into())
+            .or_default()
+            .push((self.now.as_secs_f64(), doomed.len() as f64));
+        self.metrics
+            .entry("evacuation_cost_s".into())
+            .or_default()
+            .push((self.now.as_secs_f64(), evac_cost.as_secs_f64()));
+        self.note_capacity("spot preemption evacuated the node");
+    }
+
     /// Handle an injected node failure: every PE on the node containing
     /// `pe` dies, and the application rolls back to the last *committed*
     /// in-memory checkpoint (§III-B, [7]) — or is declared
@@ -295,6 +437,9 @@ impl Runtime {
         // rebuilding its copies after an earlier restart.
         let mut dead: HashSet<usize> = failed.iter().copied().collect();
         dead.extend(self.copy_missing.keys().copied());
+        // PEs already down (earlier preemptions/unrecovered kills) hold no
+        // checkpoint copies either.
+        dead.extend((0..self.live_pes).filter(|&p| !self.pes[p].alive));
         let lost = ckpt
             .placement
             .values()
@@ -326,12 +471,16 @@ impl Runtime {
             );
         }
         self.purge_volatile_events();
-        for p in self.pes[..self.live_pes].iter_mut() {
+        for pe in 0..self.live_pes {
+            let p = &mut self.pes[pe];
             p.pending.clear();
             p.busy = false;
             p.current = None;
             p.blocked_until = SimTime::ZERO;
-            p.alive = true; // crashed processes are replaced by fresh ones
+            // Crashed processes are replaced by fresh ones — except PEs the
+            // platform reclaimed outright (spot preemptions): those stay
+            // retired and the run continues on reduced capacity.
+            p.alive = !self.retired[pe];
         }
         if let Some(tr) = &mut self.tracer {
             for pe in 0..self.live_pes {
@@ -350,11 +499,34 @@ impl Runtime {
         }
 
         // ---- restore chare state from the checkpoint ------------------------
+        // Chares whose checkpoint home is a retired PE are diverted: to the
+        // buddy that holds the surviving copy when it is alive, else round-
+        // robin over the alive PEs (deterministic: BTreeMap order).
+        let alive_targets: Vec<usize> = (0..self.live_pes)
+            .filter(|&p| self.pes[p].alive)
+            .collect();
+        if alive_targets.is_empty() {
+            let lost = ckpt.num_chares();
+            self.mem_ckpt = Some(ckpt);
+            self.mark_unrecoverable(&failed, lost, "no alive PE left to restore onto".to_string());
+            return;
+        }
         for s in self.stores.iter_mut() {
             s.clear();
         }
+        let mut rr = 0usize;
         for (obj, bytes) in &ckpt.bytes {
-            let pe = ckpt.placement[obj];
+            let mut pe = ckpt.placement[obj];
+            if pe >= self.live_pes || !self.pes[pe].alive {
+                let b = buddy_pe(pe, ckpt.num_pes);
+                pe = if b < self.live_pes && self.pes[b].alive {
+                    b
+                } else {
+                    let t = alive_targets[rr % alive_targets.len()];
+                    rr += 1;
+                    t
+                };
+            }
             self.stores[obj.array.0 as usize].unpack_insert(obj.ix, pe, bytes);
         }
 
@@ -402,6 +574,7 @@ impl Runtime {
                 .or_default()
                 .push((self.now.as_secs_f64(), p as f64));
         }
+        self.note_capacity("node failure rolled the run back");
 
         // Keep the checkpoint for further failures.
         self.mem_ckpt = Some(ckpt);
@@ -456,6 +629,7 @@ impl Runtime {
                 .or_default()
                 .push((self.now.as_secs_f64(), pe as f64));
         }
+        self.note_capacity("node failure killed PEs without recovery");
     }
 
     /// Record the (sticky) fatal outcome — the first fatal failure wins.
@@ -620,6 +794,19 @@ impl Runtime {
     pub fn schedule_failure(&mut self, at: SimTime, pe: usize) {
         let k = self.fresh_key(self.host_slot());
         self.events.push_keyed(at, k, Ev::NodeFail { pe });
+    }
+
+    /// Inject a spot preemption: the node containing `pe` is reclaimed at
+    /// `at`, announced `warning` earlier. The warn event's key is allocated
+    /// before the kill's, so a zero-warning announcement still precedes the
+    /// kill on the same timestamp.
+    pub fn schedule_preemption(&mut self, at: SimTime, pe: usize, warning: SimTime) {
+        let visible = at.saturating_sub(warning);
+        let kw = self.fresh_key(self.host_slot());
+        self.events
+            .push_keyed(visible, kw, Ev::PreemptWarn { pe, deadline: at });
+        let kf = self.fresh_key(self.host_slot());
+        self.events.push_keyed(at, kf, Ev::NodeFail { pe });
     }
 }
 

@@ -65,6 +65,7 @@ mod array;
 mod chare;
 pub mod ctrl;
 mod ctx;
+pub mod elastic;
 pub mod ft;
 mod index;
 pub mod interop;
@@ -79,6 +80,9 @@ pub mod trace;
 pub use array::{ArrayId, ArrayProxy, ObjId, Payload};
 pub use chare::{Callback, Chare, RedOp, RedValue, SysEvent};
 pub use ctx::Ctx;
+pub use elastic::{
+    Degraded, ElasticConfig, ElasticObs, ElasticPolicy, HysteresisPolicy, NoopPolicy, RunOutcome,
+};
 pub use ft::{buddy_pe, DiskCkptInfo, MemCheckpoint, RestoreError};
 pub use index::Ix;
 pub use interop::CharmLib;

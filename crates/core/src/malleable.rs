@@ -15,7 +15,19 @@ impl Runtime {
     /// Handle a scheduled reconfiguration command (from the CCS-like
     /// external channel, §III-D).
     pub(crate) fn on_reconfigure(&mut self, to: usize) {
-        let to = to.clamp(1, self.machine.num_pes);
+        // With buddy checkpointing in play, one PE is not enough: owner and
+        // buddy copies would co-locate (`buddy_pe(0, 1) == 0`) and the next
+        // failure would be unrecoverable by construction. Reject by
+        // clamping to the checkpoint floor.
+        let floor = if self.ckpt_active() { 2 } else { 1 };
+        let requested = to;
+        let to = to.clamp(floor, self.machine.num_pes);
+        if to != requested {
+            self.metrics
+                .entry("reconfigure_rejected".into())
+                .or_default()
+                .push((self.now.as_secs_f64(), requested as f64));
+        }
         if to == self.live_pes {
             return;
         }
@@ -24,8 +36,19 @@ impl Runtime {
 
         if shrinking {
             // Evacuate chares from retiring PEs (round-robin over the
-            // survivors; a follow-up LB round at the next AtSync will refine
-            // placement with real measurements).
+            // *alive* survivors — preempted PEs inside the new boundary
+            // must not receive state; a follow-up LB round at the next
+            // AtSync will refine placement with real measurements).
+            let survivors: Vec<usize> = (0..to).filter(|&p| self.pes[p].alive).collect();
+            if survivors.is_empty() {
+                // Every PE that would remain is already dead; shrinking
+                // would strand all evacuated chares. Refuse.
+                self.metrics
+                    .entry("reconfigure_rejected".into())
+                    .or_default()
+                    .push((self.now.as_secs_f64(), requested as f64));
+                return;
+            }
             let mut rr = 0usize;
             let arrays: Vec<_> = self.stores.iter().map(|s| s.id()).collect();
             let mut moved_bytes_max = 0usize;
@@ -36,7 +59,7 @@ impl Runtime {
                             .pack_element(&ix)
                             .expect("listed element");
                         moved_bytes_max = moved_bytes_max.max(bytes.len());
-                        let target = rr % to;
+                        let target = survivors[rr % survivors.len()];
                         rr += 1;
                         self.stores[array.0 as usize].remove_element(&ix);
                         self.stores[array.0 as usize].unpack_insert(ix, target, &bytes);
@@ -51,8 +74,14 @@ impl Runtime {
                     stranded.push(p.env);
                 }
                 if self.pes[pe].busy {
-                    // The entry in flight finishes (its PeFree still fires);
-                    // only *new* work is refused.
+                    // The process is torn down mid-entry: its PeFree event
+                    // still fires but finds the PE dead, so release the
+                    // busy accounting here or `busy_pes` leaks forever
+                    // (which would keep periodic ticks re-arming and the
+                    // run from ever draining).
+                    self.pes[pe].busy = false;
+                    self.pes[pe].current = None;
+                    self.busy_pes -= 1;
                 }
                 self.pes[pe].alive = false;
             }
@@ -73,8 +102,12 @@ impl Runtime {
             self.block_all_pes(done);
             self.journal_reconfig(old, to, done);
         } else {
-            // Expand: revive PEs, then spread load with an LB round.
+            // Expand: revive PEs, then spread load with an LB round. PEs
+            // the platform reclaimed (spot preemptions) never come back.
             for pe in old..to {
+                if self.retired[pe] {
+                    continue;
+                }
                 self.pes[pe].alive = true;
                 self.pes[pe].blocked_until = SimTime::ZERO;
             }
@@ -102,5 +135,6 @@ impl Runtime {
             .entry("reconfigure_cost_s".into())
             .or_default()
             .push((self.now.as_secs_f64(), cost));
+        self.note_capacity("malleable reconfiguration");
     }
 }

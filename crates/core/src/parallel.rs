@@ -234,6 +234,7 @@ impl Runtime {
         }
         if self.thermal.is_some()
             || self.perturb.is_some()
+            || self.elastic.is_some()
             || self.qd.is_some()
             || self.ckpt_pending.is_some()
             || self.auto_ckpt_interval.is_some()
@@ -409,6 +410,9 @@ impl Runtime {
                 copy_missing: FxHashMap::default(),
                 auto_ckpt_interval: None,
                 unrecoverable: None,
+                elastic: None,
+                retired: vec![false; n],
+                degraded: None,
                 thermal: None,
                 dvfs: self.dvfs,
                 dvfs_period: self.dvfs_period,

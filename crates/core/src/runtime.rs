@@ -121,6 +121,12 @@ pub(crate) enum Ev {
     Reconfigure { to: usize },
     /// An RTS-scheduled load-balancing round (cloud/thermal triggers).
     RtsLb,
+    /// Elastic-controller sampling/decision tick.
+    ElasticTick,
+    /// A spot preemption was announced: the node containing `pe` will be
+    /// reclaimed at `deadline` (the matching [`Ev::NodeFail`] is already
+    /// scheduled there).
+    PreemptWarn { pe: usize, deadline: SimTime },
 }
 
 /// A migrating chare's serialized state en route to its new PE.
@@ -292,6 +298,7 @@ pub struct RuntimeBuilder {
     record: Option<ReplayConfig>,
     perturb: Option<PerturbConfig>,
     threads: usize,
+    elastic: Option<crate::elastic::ElasticConfig>,
 }
 
 impl RuntimeBuilder {
@@ -392,6 +399,16 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Install the closed-loop elastic controller: sample utilization every
+    /// `cfg.cadence` of virtual time and let `cfg.policy` issue shrink or
+    /// expand decisions through the malleability path. Decisions are pure
+    /// functions of simulation state, so controlled runs replay
+    /// bit-identically. Sequential-only: runs fall back to one worker.
+    pub fn elastic(mut self, cfg: crate::elastic::ElasticConfig) -> Self {
+        self.elastic = Some(cfg);
+        self
+    }
+
     /// Take a double in-memory checkpoint automatically every `interval`
     /// of virtual time (§III-B). Ticks re-arm only while application work
     /// is outstanding, so the run still terminates when the job drains.
@@ -428,8 +445,22 @@ impl RuntimeBuilder {
         // Pre-size for a few in-flight events per PE; saves the first
         // handful of heap reallocations on every run.
         let mut events = EventQueue::with_capacity(8 * n);
-        // Schedule injected failures and the DVFS sampler.
+        // Schedule injected failures and the DVFS sampler. A preemption
+        // becomes visible at its announcement time (warning before the
+        // kill); its warn key is allocated before its kill key, so a
+        // zero-warning announcement still pops before the kill on ties.
         for f in self.machine.failures.events() {
+            if let charm_machine::FailureKind::Preemption { .. } = f.kind {
+                let k = rts_key(&mut keys);
+                events.push_keyed(
+                    f.visible_at(),
+                    k,
+                    Ev::PreemptWarn {
+                        pe: f.pe,
+                        deadline: f.time,
+                    },
+                );
+            }
             let k = rts_key(&mut keys);
             events.push_keyed(f.time, k, Ev::NodeFail { pe: f.pe });
         }
@@ -446,6 +477,11 @@ impl RuntimeBuilder {
             let k = rts_key(&mut keys);
             events.push_keyed(interval, k, Ev::AutoCkpt);
         }
+        let elastic = self.elastic.map(|cfg| {
+            let k = rts_key(&mut keys);
+            events.push_keyed(cfg.cadence, k, Ev::ElasticTick);
+            crate::elastic::ElasticCtl::new(cfg, n)
+        });
         let net = NetworkModel::new(self.machine.network.clone(), self.seed);
         let net_min_remote = net.min_remote_delay().0;
         let num_chips = self.machine.num_chips();
@@ -487,6 +523,9 @@ impl RuntimeBuilder {
             copy_missing: FxHashMap::default(),
             auto_ckpt_interval: self.auto_ckpt,
             unrecoverable: None,
+            elastic,
+            retired: vec![false; n],
+            degraded: None,
             thermal,
             dvfs: self.dvfs,
             dvfs_period: self.dvfs_period,
@@ -575,6 +614,14 @@ pub struct Runtime {
     pub(crate) auto_ckpt_interval: Option<SimTime>,
     /// Set (once, sticky) when a failure destroys state beyond recovery.
     pub(crate) unrecoverable: Option<Unrecoverable>,
+    /// The elastic controller, when installed ([`RuntimeBuilder::elastic`]).
+    pub(crate) elastic: Option<crate::elastic::ElasticCtl>,
+    /// PEs permanently reclaimed by the platform (spot preemptions). A
+    /// retired PE is never revived by restart or expand.
+    pub(crate) retired: Vec<bool>,
+    /// Set (once, sticky) when alive capacity fell through the floor; the
+    /// run still completes, with a [`crate::elastic::Degraded`] outcome.
+    pub(crate) degraded: Option<crate::elastic::Degraded>,
     pub(crate) thermal: Option<ThermalModel>,
     pub(crate) dvfs: DvfsScheme,
     pub(crate) dvfs_period: SimTime,
@@ -668,6 +715,7 @@ impl Runtime {
             record: None,
             perturb: None,
             threads: crate::parallel::default_threads(),
+            elastic: None,
         }
     }
 
@@ -1283,6 +1331,8 @@ impl Runtime {
             Ev::AutoCkpt => self.on_auto_ckpt(),
             Ev::Reconfigure { to } => self.on_reconfigure(to),
             Ev::RtsLb => self.rts_triggered_lb(),
+            Ev::ElasticTick => self.on_elastic_tick(),
+            Ev::PreemptWarn { pe, deadline } => self.on_preempt_warn(pe, deadline),
         }
     }
 
@@ -2246,7 +2296,10 @@ impl Runtime {
             let target = match new_pe {
                 Some(pe) => {
                     assert!(*pe < self.live_pes, "{strategy_name} assigned dead PE {pe}");
-                    *pe
+                    // Strategies see the live boundary, not liveness holes
+                    // left by preemptions; keep the chare put rather than
+                    // migrate it onto a dead PE.
+                    if self.pes[*pe].alive { *pe } else { obj.pe }
                 }
                 None => obj.pe,
             };

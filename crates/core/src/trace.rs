@@ -198,6 +198,44 @@ pub enum TraceEventKind {
         /// PE count after.
         to: usize,
     },
+    /// A spot preemption was announced for a node (RTS track).
+    PreemptWarning {
+        /// First PE of the doomed node.
+        first_pe: usize,
+        /// PEs the platform will reclaim.
+        num_pes: usize,
+        /// When the kill lands.
+        deadline: SimTime,
+        /// Did the warning horizon cover the modeled evacuation cost?
+        proactive: bool,
+    },
+    /// Chares were proactively drained off doomed PEs before a preemption
+    /// deadline — no rollback needed (RTS track).
+    Evacuation {
+        /// Chares moved to surviving PEs.
+        chares: usize,
+        /// First evacuated PE.
+        first_pe: usize,
+        /// PEs evacuated.
+        num_pes: usize,
+    },
+    /// The elastic controller issued a shrink/expand decision (RTS track).
+    ElasticDecision {
+        /// Live-PE target before.
+        from: usize,
+        /// Live-PE target after.
+        to: usize,
+        /// Utilization sample that drove the decision.
+        util: f64,
+    },
+    /// Capacity fell below the configured floor; the run continues in
+    /// degraded mode (RTS track).
+    DegradedCapacity {
+        /// Alive PEs remaining.
+        have: usize,
+        /// The floor that was violated.
+        floor: usize,
+    },
 }
 
 /// A timestamped record on one track (`track < num_pes` = that PE;
@@ -639,6 +677,22 @@ impl Tracer {
             TraceEventKind::Reconfigure { from, to } => {
                 Some(format!("reconfigure {from} -> {to} PEs"))
             }
+            TraceEventKind::PreemptWarning { first_pe, num_pes, deadline, proactive } => {
+                Some(format!(
+                    "preemption warning: {num_pes} PE(s) from PE {first_pe}, reclaim @{:.6}s ({})",
+                    deadline.as_secs_f64(),
+                    if *proactive { "evacuating" } else { "too short, will restart" }
+                ))
+            }
+            TraceEventKind::Evacuation { chares, first_pe, num_pes } => Some(format!(
+                "evacuated {chares} chare(s) off {num_pes} PE(s) from PE {first_pe}"
+            )),
+            TraceEventKind::ElasticDecision { from, to, util } => {
+                Some(format!("elastic: {from} -> {to} PEs (util {util:.3})"))
+            }
+            TraceEventKind::DegradedCapacity { have, floor } => {
+                Some(format!("DEGRADED: {have} alive PE(s) below floor {floor}"))
+            }
             _ => None,
         };
         if let Some(line) = line {
@@ -980,6 +1034,24 @@ fn rts_name_args(kind: &TraceEventKind) -> (&'static str, String) {
         ),
         TraceEventKind::Reconfigure { from, to } => {
             ("reconfigure", format!("\"from\":{from},\"to\":{to}"))
+        }
+        TraceEventKind::PreemptWarning { first_pe, num_pes, deadline, proactive } => (
+            "preempt_warning",
+            format!(
+                "\"first_pe\":{first_pe},\"num_pes\":{num_pes},\"deadline_us\":{},\"proactive\":{proactive}",
+                us(*deadline)
+            ),
+        ),
+        TraceEventKind::Evacuation { chares, first_pe, num_pes } => (
+            "evacuation",
+            format!("\"chares\":{chares},\"first_pe\":{first_pe},\"num_pes\":{num_pes}"),
+        ),
+        TraceEventKind::ElasticDecision { from, to, util } => (
+            "elastic_decision",
+            format!("\"from\":{from},\"to\":{to},\"util\":{util:.4}"),
+        ),
+        TraceEventKind::DegradedCapacity { have, floor } => {
+            ("degraded", format!("\"have\":{have},\"floor\":{floor}"))
         }
         _ => ("event", String::new()),
     }

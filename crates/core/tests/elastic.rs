@@ -1,0 +1,253 @@
+//! Elastic controller and spot-preemption edge cases: the shrink guard,
+//! typed graceful degradation, closed-loop shrink, failures racing
+//! reconfiguration, and retired capacity staying retired.
+
+mod campaign;
+
+use campaign::{
+    lockstep_build, lockstep_build_migratable, lockstep_build_packed, lockstep_spec,
+    lockstep_verify,
+};
+use charm_core::{
+    ElasticConfig, HysteresisPolicy, MachineConfig, RunOutcome, Runtime, SimTime,
+};
+
+const PES: usize = 8;
+
+/// Failure-free makespan of the standard lockstep build.
+fn probe_t_free() -> f64 {
+    let mut rt = Runtime::builder(MachineConfig::homogeneous(PES)).build();
+    lockstep_build(&mut rt);
+    let t = rt.run().end_time.as_secs_f64();
+    lockstep_verify(&rt).expect("probe must be correct");
+    t
+}
+
+/// A hysteresis policy that never fires (dead band covers everything) but
+/// still promises `min_pes` — isolates the capacity floor from control
+/// actions in tests.
+fn floor_only(min_pes: usize) -> ElasticConfig {
+    ElasticConfig::new(
+        SimTime::from_secs(1),
+        Box::new(HysteresisPolicy::new(1.5, 0.0, 1, SimTime::ZERO, min_pes, PES)),
+    )
+}
+
+#[test]
+fn shrink_below_checkpoint_floor_is_clamped_and_recoverable() {
+    let t_free = probe_t_free();
+    let interval = SimTime::from_secs_f64((t_free / 5.0).max(1e-6));
+
+    let mut rt = Runtime::builder(MachineConfig::homogeneous(PES))
+        .auto_checkpoint(interval)
+        .build();
+    lockstep_build(&mut rt);
+    // An external shrink-to-1 request: with buddy checkpointing active this
+    // would co-locate both checkpoint copies, so it must clamp to 2.
+    rt.schedule_reconfigure(SimTime::from_secs_f64(0.3 * t_free), 1);
+    // A failure well after the clamped shrink: both copies must still exist
+    // on distinct PEs for recovery to work.
+    rt.schedule_failure(SimTime::from_secs_f64(0.8 * t_free), 0);
+
+    let outcome = rt.run_outcome();
+    let summary = outcome.summary().expect("single failure past a commit must recover");
+    assert!(summary.end_time > SimTime::ZERO);
+    lockstep_verify(&rt).expect("answer must survive shrink + failure");
+
+    let rejected = rt.metric("reconfigure_rejected");
+    assert_eq!(rejected.len(), 1, "the shrink-to-1 request must be journaled as clamped");
+    assert_eq!(rejected[0].1, 1.0, "journal records the *requested* size");
+    let reconf = rt.metric("reconfigure");
+    assert_eq!(reconf.last().map(|&(_, to)| to), Some(2.0), "shrink lands on the floor");
+    assert!(!rt.metric("restart_time_s").is_empty(), "the failure must trigger a restart");
+    // The failed PE restarts in place (unlike preempted PEs, which the
+    // platform reclaims for good), so both floor PEs are alive at the end.
+    assert_eq!(rt.alive_pes(), 2);
+}
+
+#[test]
+fn preemption_below_policy_floor_degrades_gracefully() {
+    let t_free = probe_t_free();
+
+    // Policy promises 6 PEs; three spot preemptions (ample warning) drop
+    // alive capacity to 5 — the run must finish correctly, but flag it.
+    let mut rt = Runtime::builder(MachineConfig::homogeneous(PES))
+        .elastic(floor_only(6))
+        .build();
+    lockstep_build(&mut rt);
+    let warning = SimTime::from_secs_f64(0.2 * t_free);
+    for (i, pe) in [5usize, 6, 7].into_iter().enumerate() {
+        rt.schedule_preemption(
+            SimTime::from_secs_f64((0.3 + 0.15 * i as f64) * t_free),
+            pe,
+            warning,
+        );
+    }
+
+    match rt.run_outcome() {
+        RunOutcome::Degraded { info, .. } => {
+            assert_eq!(info.floor, 6);
+            assert_eq!(info.have_pes, 5);
+            assert!(info.at > SimTime::ZERO);
+        }
+        other => panic!("expected Degraded, got {other:?}"),
+    }
+    lockstep_verify(&rt).expect("degraded runs still finish with the right answer");
+    assert_eq!(rt.alive_pes(), 5);
+    assert!(rt.metric("restart_time_s").is_empty(), "ample warnings: no rollbacks");
+    assert_eq!(rt.metric("evacuations").len(), 3);
+    assert!(!rt.metric("degraded").is_empty());
+}
+
+#[test]
+fn hysteresis_controller_shrinks_an_underutilized_job() {
+    // All work pinned on 2 of 8 PEs: mean utilization ~25%, far below the
+    // shrink threshold, so the controller must retire idle capacity.
+    let mut rt = Runtime::builder(MachineConfig::homogeneous(PES)).build();
+    lockstep_build_packed(&mut rt, 2);
+    let t_free = rt.run().end_time.as_secs_f64();
+    lockstep_verify(&rt).expect("packed probe must be correct");
+
+    let cadence = SimTime::from_secs_f64((t_free / 5.0).max(1e-6));
+    let policy = HysteresisPolicy::new(0.95, 0.5, 2, cadence, 2, PES);
+    let mut rt = Runtime::builder(MachineConfig::homogeneous(PES))
+        .elastic(ElasticConfig::new(cadence, Box::new(policy)))
+        .build();
+    lockstep_build_packed(&mut rt, 2);
+
+    let outcome = rt.run_outcome();
+    assert!(outcome.is_completed(), "controller action must not break the run: {outcome:?}");
+    lockstep_verify(&rt).expect("answer must survive elastic shrink");
+
+    assert!(!rt.metric("elastic_util").is_empty(), "controller must have sampled");
+    let decisions = rt.metric("elastic_decision");
+    assert!(!decisions.is_empty(), "an underutilized job must trigger a shrink");
+    assert!(decisions[0].1 < PES as f64, "first decision shrinks");
+    assert!(!rt.metric("reconfigure").is_empty(), "decision must reach the malleability path");
+    assert!(rt.alive_pes() < PES, "idle capacity must actually be retired");
+    assert!(rt.alive_pes() >= 2, "never below the policy floor");
+}
+
+#[test]
+fn failure_during_evacuation_window_recovers() {
+    let spec = lockstep_spec();
+    let t_free = probe_t_free();
+    let interval = SimTime::from_secs_f64((t_free / 5.0).max(1e-6));
+
+    // Checkpointed probe: learn the (longer) checkpointed makespan.
+    let mut rt = Runtime::builder(MachineConfig::homogeneous(PES))
+        .auto_checkpoint(interval)
+        .build();
+    (spec.build)(&mut rt);
+    let t_ck = rt.run().end_time.as_secs_f64();
+
+    // Preemption of PE 3 announced at 0.45·t_ck; a hard failure of PE 5
+    // lands at the exact announcement instant — i.e. inside the evacuation
+    // window, after the drain but before the doomed PE is reclaimed.
+    let announce = SimTime::from_secs_f64(0.45 * t_ck);
+    let warning = SimTime::from_secs_f64(0.25 * t_ck);
+    let mut rt = Runtime::builder(MachineConfig::homogeneous(PES))
+        .auto_checkpoint(interval)
+        .build();
+    (spec.build)(&mut rt);
+    rt.schedule_preemption(announce + warning, 3, warning);
+    rt.schedule_failure(announce, 5);
+
+    match rt.run_outcome() {
+        RunOutcome::Completed(_) | RunOutcome::Degraded { .. } => {
+            (spec.verify)(&rt).expect("recovery racing an evacuation must keep the answer");
+        }
+        RunOutcome::Unrecoverable(u) => {
+            panic!("single failure with a live buddy must be recoverable: {u}")
+        }
+    }
+    assert_eq!(rt.metric("evacuations").len(), 1, "the preemption still evacuates");
+    assert!(!rt.metric("restart_time_s").is_empty(), "the failure still restarts");
+    // PE 5 restarts in place; only the preempted PE 3 stays gone.
+    assert_eq!(rt.alive_pes(), PES - 1);
+}
+
+#[test]
+fn failure_on_just_expanded_pe_before_any_checkpoint_is_typed() {
+    use charm_core::{LbStats, Strategy};
+    // Expansion spreads load through an RTS-triggered LB round; a plain
+    // round-robin strategy guarantees the revived PE receives chares.
+    struct SpreadLb;
+    impl Strategy for SpreadLb {
+        fn name(&self) -> &'static str {
+            "SpreadLb"
+        }
+        fn assign(&mut self, stats: &LbStats) -> Vec<Option<usize>> {
+            (0..stats.objs.len()).map(|i| Some(i % stats.num_pes)).collect()
+        }
+    }
+
+    let t_free = probe_t_free();
+
+    // Checkpoint interval far past the whole experiment: nothing commits.
+    let interval = SimTime::from_secs(3600);
+    let mut rt = Runtime::builder(MachineConfig::homogeneous(PES))
+        .auto_checkpoint(interval)
+        .strategy(Box::new(SpreadLb))
+        .build();
+    lockstep_build_migratable(&mut rt);
+    let t1 = SimTime::from_secs_f64(0.3 * t_free);
+    let t2 = SimTime::from_secs_f64(0.6 * t_free);
+    rt.schedule_reconfigure(t1, 4); // shrink …
+    rt.schedule_reconfigure(t2, PES); // … expand back out
+    // PE 6 was revived microseconds ago and holds rebalanced chares no
+    // committed checkpoint covers: state loss must surface as a typed
+    // verdict, never a panic.
+    rt.schedule_failure(t2 + SimTime::from_nanos(1), 6);
+
+    match rt.run_outcome() {
+        RunOutcome::Unrecoverable(u) => {
+            let msg = u.to_string();
+            assert!(
+                msg.contains("checkpoint"),
+                "verdict should name the missing checkpoint: {msg}"
+            );
+        }
+        other => panic!("expected Unrecoverable (no committed checkpoint), got {other:?}"),
+    }
+    assert!(rt.unrecoverable().is_some());
+}
+
+#[test]
+fn expand_never_revives_a_preempted_pe() {
+    let spec = lockstep_spec();
+    let t_free = probe_t_free();
+    let interval = SimTime::from_secs_f64((t_free / 5.0).max(1e-6));
+
+    let mut rt = Runtime::builder(MachineConfig::homogeneous(PES))
+        .auto_checkpoint(interval)
+        .build();
+    (spec.build)(&mut rt);
+    let t_ck = rt.run().end_time.as_secs_f64();
+
+    // PE 6 is preempted (ample warning), then the job shrinks to 4 and
+    // expands back to 8: the expand revives 4, 5, 7 — never 6, which the
+    // platform reclaimed for good.
+    let mut rt = Runtime::builder(MachineConfig::homogeneous(PES))
+        .auto_checkpoint(interval)
+        .build();
+    (spec.build)(&mut rt);
+    rt.schedule_preemption(
+        SimTime::from_secs_f64(0.3 * t_ck),
+        6,
+        SimTime::from_secs_f64(0.25 * t_ck),
+    );
+    rt.schedule_reconfigure(SimTime::from_secs_f64(0.5 * t_ck), 4);
+    rt.schedule_reconfigure(SimTime::from_secs_f64(0.7 * t_ck), PES);
+
+    let outcome = rt.run_outcome();
+    assert!(outcome.summary().is_some(), "run must finish: {outcome:?}");
+    (spec.verify)(&rt).expect("answer must survive preempt + shrink + expand");
+    assert_eq!(
+        rt.alive_pes(),
+        PES - 1,
+        "expand must skip the preempted PE"
+    );
+    assert_eq!(rt.metric("evacuations").len(), 1);
+    assert!(rt.metric("restart_time_s").is_empty(), "no rollback anywhere in this dance");
+}

@@ -7,45 +7,19 @@
 //! [`Unrecoverable`]; panics and hangs (enforced with a sim-time budget)
 //! are campaign failures. Schedules derive from a seed printed on failure,
 //! so any run reproduces exactly (see EXPERIMENTS.md).
+//!
+//! The mini-apps and schedule RNG live in `campaign/mod.rs`, shared with
+//! the spot-preemption campaign (`preempt_campaign.rs`).
 
-use charm_core::{
-    buddy_pe, ArrayProxy, Callback, Chare, Ctx, Ix, MachineConfig, RedOp, RedValue, Runtime,
-    SimTime, SysEvent, Unrecoverable,
+mod campaign;
+
+use campaign::{
+    halo_spec, lockstep_spec, ring_spec, schedule_seed, AppSpec, Rng,
 };
-use charm_pup::{Pup, Puper};
+use charm_core::{buddy_pe, MachineConfig, Runtime, SimTime, Unrecoverable};
 
 const PES: usize = 8;
 const SCHEDULES_PER_APP: usize = 20;
-
-// ---------------------------------------------------------------------------
-// Deterministic schedule generator (xorshift64*, no external deps).
-// ---------------------------------------------------------------------------
-
-struct Rng(u64);
-
-impl Rng {
-    fn new(seed: u64) -> Self {
-        Rng(seed | 1)
-    }
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.0 = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n
-    }
-    fn unit(&mut self) -> f64 {
-        (self.next() >> 11) as f64 / (1u64 << 53) as f64
-    }
-    /// Uniform in [lo, hi).
-    fn range(&mut self, lo: f64, hi: f64) -> f64 {
-        lo + self.unit() * (hi - lo)
-    }
-}
 
 #[derive(Clone, Copy, Debug)]
 enum Kind {
@@ -69,17 +43,6 @@ const KINDS: [Kind; 5] = [
     Kind::BuddyPair,
     Kind::DuringCheckpoint,
 ];
-
-/// Derive a per-schedule seed from the app name and schedule index (FNV-1a),
-/// so every (app, k) pair is an independent, reproducible stream.
-fn schedule_seed(app: &str, k: u64) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in app.bytes().chain(k.to_le_bytes()) {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
 
 /// Generate one failure schedule. `t_run` is the failure-free duration of
 /// the checkpointed run; `windows` its checkpoint replication windows as
@@ -127,493 +90,8 @@ fn gen_schedule(kind: Kind, seed: u64, t_run: f64, windows: &[(f64, f64)]) -> Ve
 }
 
 // ---------------------------------------------------------------------------
-// Mini-app 1: Lockstep — driver-broadcast steps, per-step sum reduction.
-// ---------------------------------------------------------------------------
-
-const LOCK_WORKERS: i64 = 24;
-const LOCK_STEPS: u64 = 10;
-
-#[derive(Default, Clone)]
-struct Step(u64);
-impl Pup for Step {
-    fn pup(&mut self, p: &mut Puper) {
-        p.p(&mut self.0);
-    }
-}
-
-#[derive(Default)]
-struct LockWorker {
-    step: u64,
-    workers: ArrayProxy<LockWorker>,
-    driver: ArrayProxy<LockDriver>,
-}
-
-impl Pup for LockWorker {
-    fn pup(&mut self, p: &mut Puper) {
-        charm_pup::pup_all!(p; self.step, self.workers, self.driver);
-    }
-}
-
-impl Chare for LockWorker {
-    type Msg = Step;
-    fn on_message(&mut self, Step(n): Step, ctx: &mut Ctx<'_>) {
-        self.step = n;
-        ctx.work(5e5);
-        ctx.contribute(
-            self.workers,
-            n as u32,
-            RedValue::I64(1),
-            RedOp::Sum,
-            Callback::ToChare { array: self.driver.id(), ix: Ix::i1(0) },
-        );
-    }
-}
-
-#[derive(Default)]
-struct LockDriver {
-    step: u64,
-    steps: u64,
-    workers: ArrayProxy<LockWorker>,
-}
-
-impl Pup for LockDriver {
-    fn pup(&mut self, p: &mut Puper) {
-        charm_pup::pup_all!(p; self.step, self.steps, self.workers);
-    }
-}
-
-impl Chare for LockDriver {
-    type Msg = Step;
-    fn on_message(&mut self, _kick: Step, ctx: &mut Ctx<'_>) {
-        ctx.broadcast(self.workers, Step(self.step));
-    }
-    fn on_event(&mut self, ev: SysEvent, ctx: &mut Ctx<'_>) {
-        match ev {
-            SysEvent::Reduction { value, .. } => {
-                debug_assert_eq!(value.as_i64(), LOCK_WORKERS);
-                self.step += 1;
-                if self.step < self.steps {
-                    ctx.broadcast(self.workers, Step(self.step));
-                } else {
-                    ctx.log_metric("lockstep_done", self.step as f64);
-                    ctx.exit();
-                }
-            }
-            SysEvent::Restarted { .. } => {
-                // Re-drive the in-flight step (also replays a lost kick).
-                ctx.broadcast(self.workers, Step(self.step));
-            }
-            _ => {}
-        }
-    }
-}
-
-fn lockstep_build(rt: &mut Runtime) {
-    let workers = rt.create_array::<LockWorker>("lock_workers");
-    let driver = rt.create_array::<LockDriver>("lock_driver");
-    for i in 0..LOCK_WORKERS {
-        rt.insert(workers, Ix::i1(i), LockWorker { workers, driver, ..Default::default() }, None);
-    }
-    rt.insert(
-        driver,
-        Ix::i1(0),
-        LockDriver { steps: LOCK_STEPS, workers, ..Default::default() },
-        Some(0),
-    );
-    rt.send(driver, Ix::i1(0), Step(0));
-}
-
-fn lockstep_verify(rt: &Runtime) -> Result<(), String> {
-    match rt.metric("lockstep_done").last() {
-        Some(&(_, v)) if v == LOCK_STEPS as f64 => Ok(()),
-        other => Err(format!("lockstep_done = {other:?}, want {LOCK_STEPS}")),
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Mini-app 2: Ring — a token makes laps; recovery re-injects it from the
-// highest hop any node remembers forwarding (gather-then-resume pattern).
-// ---------------------------------------------------------------------------
-
-const RING_NODES: i64 = 16;
-const RING_LAPS: u64 = 3;
-const RING_HOPS: u64 = RING_NODES as u64 * RING_LAPS;
-
-#[derive(Clone)]
-enum RingMsg {
-    /// The token at hop `h`; hop `h` is processed by node `h % n`.
-    Token(u64),
-    /// Driver asks: what was the last hop you processed?
-    Report,
-}
-
-impl Default for RingMsg {
-    fn default() -> Self {
-        RingMsg::Token(0)
-    }
-}
-
-impl Pup for RingMsg {
-    fn pup(&mut self, p: &mut Puper) {
-        let mut t: u8 = matches!(self, RingMsg::Report) as u8;
-        p.p(&mut t);
-        let mut h = if let RingMsg::Token(h) = self { *h } else { 0 };
-        p.p(&mut h);
-        if p.is_unpacking() {
-            *self = if t == 1 { RingMsg::Report } else { RingMsg::Token(h) };
-        }
-    }
-}
-
-#[derive(Clone, Default)]
-enum RingCtl {
-    #[default]
-    Kick,
-    /// A node's last processed hop (-1 = never held the token).
-    LastHop(i64),
-    /// The token completed all laps at hop count `h`.
-    Done(u64),
-}
-
-impl Pup for RingCtl {
-    fn pup(&mut self, p: &mut Puper) {
-        let mut t: u8 = match self {
-            RingCtl::Kick => 0,
-            RingCtl::LastHop(_) => 1,
-            RingCtl::Done(_) => 2,
-        };
-        p.p(&mut t);
-        let mut a = if let RingCtl::LastHop(v) = self { *v } else { 0 };
-        p.p(&mut a);
-        let mut b = if let RingCtl::Done(h) = self { *h } else { 0 };
-        p.p(&mut b);
-        if p.is_unpacking() {
-            *self = match t {
-                0 => RingCtl::Kick,
-                1 => RingCtl::LastHop(a),
-                _ => RingCtl::Done(b),
-            };
-        }
-    }
-}
-
-#[derive(Default)]
-struct RingNode {
-    n: i64,
-    last_hop: i64,
-    nodes: ArrayProxy<RingNode>,
-    driver: ArrayProxy<RingDriver>,
-}
-
-impl Pup for RingNode {
-    fn pup(&mut self, p: &mut Puper) {
-        charm_pup::pup_all!(p; self.n, self.last_hop, self.nodes, self.driver);
-    }
-}
-
-impl Chare for RingNode {
-    type Msg = RingMsg;
-    fn on_message(&mut self, msg: RingMsg, ctx: &mut Ctx<'_>) {
-        match msg {
-            RingMsg::Token(h) => {
-                self.last_hop = h as i64;
-                ctx.work(2e5);
-                let next = h + 1;
-                if next < RING_HOPS {
-                    ctx.send(self.nodes, Ix::i1(next as i64 % self.n), RingMsg::Token(next));
-                } else {
-                    ctx.send(self.driver, Ix::i1(0), RingCtl::Done(next));
-                }
-            }
-            RingMsg::Report => {
-                ctx.send(self.driver, Ix::i1(0), RingCtl::LastHop(self.last_hop));
-            }
-        }
-    }
-}
-
-#[derive(Default)]
-struct RingDriver {
-    n: i64,
-    reports: i64,
-    max_hop: i64,
-    done: bool,
-    nodes: ArrayProxy<RingNode>,
-}
-
-impl Pup for RingDriver {
-    fn pup(&mut self, p: &mut Puper) {
-        charm_pup::pup_all!(p; self.n, self.reports, self.max_hop, self.done, self.nodes);
-    }
-}
-
-impl RingDriver {
-    fn finish(&mut self, hops: u64, ctx: &mut Ctx<'_>) {
-        if !self.done {
-            self.done = true;
-            ctx.log_metric("ring_done", hops as f64);
-            ctx.exit();
-        }
-    }
-}
-
-impl Chare for RingDriver {
-    type Msg = RingCtl;
-    fn on_message(&mut self, msg: RingCtl, ctx: &mut Ctx<'_>) {
-        match msg {
-            RingCtl::Kick => ctx.send(self.nodes, Ix::i1(0), RingMsg::Token(0)),
-            RingCtl::LastHop(h) => {
-                if self.done {
-                    return;
-                }
-                self.max_hop = self.max_hop.max(h);
-                self.reports += 1;
-                if self.reports == self.n {
-                    // The token at max_hop was processed; hop max_hop+1 was
-                    // at most in flight (and in-flight messages were purged
-                    // at rollback), so re-injecting it is exactly-once.
-                    let next = (self.max_hop + 1) as u64;
-                    self.reports = 0;
-                    self.max_hop = -1;
-                    if next >= RING_HOPS {
-                        self.finish(RING_HOPS, ctx);
-                    } else {
-                        ctx.send(self.nodes, Ix::i1(next as i64 % self.n), RingMsg::Token(next));
-                    }
-                }
-            }
-            RingCtl::Done(h) => self.finish(h, ctx),
-        }
-    }
-    fn on_event(&mut self, ev: SysEvent, ctx: &mut Ctx<'_>) {
-        if let SysEvent::Restarted { .. } = ev {
-            if self.done {
-                return;
-            }
-            // A rollback may have restored mid-gather state: restart the
-            // gather from scratch (stale LastHop messages were purged).
-            self.reports = 0;
-            self.max_hop = -1;
-            ctx.broadcast(self.nodes, RingMsg::Report);
-        }
-    }
-}
-
-fn ring_build(rt: &mut Runtime) {
-    let nodes = rt.create_array::<RingNode>("ring_nodes");
-    let driver = rt.create_array::<RingDriver>("ring_driver");
-    for i in 0..RING_NODES {
-        rt.insert(
-            nodes,
-            Ix::i1(i),
-            RingNode { n: RING_NODES, nodes, driver, last_hop: -1 },
-            None,
-        );
-    }
-    rt.insert(
-        driver,
-        Ix::i1(0),
-        RingDriver { n: RING_NODES, max_hop: -1, nodes, ..Default::default() },
-        Some(0),
-    );
-    rt.send(driver, Ix::i1(0), RingCtl::Kick);
-}
-
-fn ring_verify(rt: &Runtime) -> Result<(), String> {
-    match rt.metric("ring_done").last() {
-        Some(&(_, v)) if v == RING_HOPS as f64 => Ok(()),
-        other => Err(format!("ring_done = {other:?}, want {RING_HOPS}")),
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Mini-app 3: Halo1d — nearest-neighbor exchange per step (the mixed-phase
-// rollback case: a checkpoint can catch neighbors at different steps).
-// ---------------------------------------------------------------------------
-
-const HALO_NODES: i64 = 16;
-const HALO_STEPS: u64 = 8;
-
-#[derive(Clone)]
-enum HaloMsg {
-    Step(u64),
-    Halo(u64),
-}
-
-impl Default for HaloMsg {
-    fn default() -> Self {
-        HaloMsg::Step(0)
-    }
-}
-
-impl Pup for HaloMsg {
-    fn pup(&mut self, p: &mut Puper) {
-        let mut t: u8 = matches!(self, HaloMsg::Halo(_)) as u8;
-        p.p(&mut t);
-        let mut s = match self {
-            HaloMsg::Step(s) | HaloMsg::Halo(s) => *s,
-        };
-        p.p(&mut s);
-        if p.is_unpacking() {
-            *self = if t == 1 { HaloMsg::Halo(s) } else { HaloMsg::Step(s) };
-        }
-    }
-}
-
-#[derive(Default)]
-struct HaloNode {
-    i: i64,
-    n: i64,
-    step: u64,
-    seen: u8,
-    early: u8,
-    rolled_back: bool,
-    nodes: ArrayProxy<HaloNode>,
-    driver: ArrayProxy<HaloDriver>,
-}
-
-impl Pup for HaloNode {
-    fn pup(&mut self, p: &mut Puper) {
-        charm_pup::pup_all!(
-            p;
-            self.i, self.n, self.step, self.seen, self.early,
-            self.rolled_back, self.nodes, self.driver
-        );
-    }
-}
-
-impl HaloNode {
-    fn maybe_compute(&mut self, ctx: &mut Ctx<'_>) {
-        if self.seen < 2 {
-            return;
-        }
-        self.seen = 0;
-        ctx.work(3e5);
-        ctx.contribute(
-            self.nodes,
-            self.step as u32,
-            RedValue::I64(1),
-            RedOp::Sum,
-            Callback::ToChare { array: self.driver.id(), ix: Ix::i1(0) },
-        );
-    }
-}
-
-impl Chare for HaloNode {
-    type Msg = HaloMsg;
-    fn on_message(&mut self, msg: HaloMsg, ctx: &mut Ctx<'_>) {
-        match msg {
-            HaloMsg::Step(s) => {
-                self.rolled_back = false;
-                self.step = s;
-                self.seen += std::mem::take(&mut self.early);
-                for d in [-1i64, 1] {
-                    ctx.send(
-                        self.nodes,
-                        Ix::i1((self.i + d).rem_euclid(self.n)),
-                        HaloMsg::Halo(s),
-                    );
-                }
-                self.maybe_compute(ctx);
-            }
-            HaloMsg::Halo(_) if self.rolled_back => {
-                // Post-rollback traffic is all for the one re-driven step
-                // (in-flight messages were purged); hold it until our Step.
-                self.early += 1;
-            }
-            HaloMsg::Halo(s) => {
-                if s == self.step {
-                    self.seen += 1;
-                    self.maybe_compute(ctx);
-                } else {
-                    debug_assert_eq!(s, self.step + 1, "halo from the far future");
-                    self.early += 1;
-                }
-            }
-        }
-    }
-    fn on_event(&mut self, ev: SysEvent, _ctx: &mut Ctx<'_>) {
-        if let SysEvent::Restarted { .. } = ev {
-            self.rolled_back = true;
-            self.seen = 0;
-            self.early = 0;
-        }
-    }
-}
-
-#[derive(Default)]
-struct HaloDriver {
-    step: u64,
-    steps: u64,
-    nodes: ArrayProxy<HaloNode>,
-}
-
-impl Pup for HaloDriver {
-    fn pup(&mut self, p: &mut Puper) {
-        charm_pup::pup_all!(p; self.step, self.steps, self.nodes);
-    }
-}
-
-impl Chare for HaloDriver {
-    type Msg = Step;
-    fn on_message(&mut self, _kick: Step, ctx: &mut Ctx<'_>) {
-        ctx.broadcast(self.nodes, HaloMsg::Step(self.step));
-    }
-    fn on_event(&mut self, ev: SysEvent, ctx: &mut Ctx<'_>) {
-        match ev {
-            SysEvent::Reduction { .. } => {
-                self.step += 1;
-                if self.step < self.steps {
-                    ctx.broadcast(self.nodes, HaloMsg::Step(self.step));
-                } else {
-                    ctx.log_metric("halo_done", self.step as f64);
-                    ctx.exit();
-                }
-            }
-            SysEvent::Restarted { .. } => {
-                ctx.broadcast(self.nodes, HaloMsg::Step(self.step));
-            }
-            _ => {}
-        }
-    }
-}
-
-fn halo_build(rt: &mut Runtime) {
-    let nodes = rt.create_array::<HaloNode>("halo_nodes");
-    let driver = rt.create_array::<HaloDriver>("halo_driver");
-    for i in 0..HALO_NODES {
-        rt.insert(
-            nodes,
-            Ix::i1(i),
-            HaloNode { i, n: HALO_NODES, nodes, driver, ..Default::default() },
-            None,
-        );
-    }
-    rt.insert(
-        driver,
-        Ix::i1(0),
-        HaloDriver { steps: HALO_STEPS, nodes, ..Default::default() },
-        Some(0),
-    );
-    rt.send(driver, Ix::i1(0), Step(0));
-}
-
-fn halo_verify(rt: &Runtime) -> Result<(), String> {
-    match rt.metric("halo_done").last() {
-        Some(&(_, v)) if v == HALO_STEPS as f64 => Ok(()),
-        other => Err(format!("halo_done = {other:?}, want {HALO_STEPS}")),
-    }
-}
-
-// ---------------------------------------------------------------------------
 // The campaign harness.
 // ---------------------------------------------------------------------------
-
-struct AppSpec {
-    name: &'static str,
-    build: fn(&mut Runtime),
-    verify: fn(&Runtime) -> Result<(), String>,
-}
 
 fn make_rt(auto_ckpt: Option<SimTime>) -> Runtime {
     let mut b = Runtime::builder(MachineConfig::homogeneous(PES));
@@ -692,21 +170,17 @@ fn run_campaign(spec: &AppSpec) {
 
 #[test]
 fn campaign_lockstep() {
-    run_campaign(&AppSpec {
-        name: "lockstep",
-        build: lockstep_build,
-        verify: lockstep_verify,
-    });
+    run_campaign(&lockstep_spec());
 }
 
 #[test]
 fn campaign_ring() {
-    run_campaign(&AppSpec { name: "ring", build: ring_build, verify: ring_verify });
+    run_campaign(&ring_spec());
 }
 
 #[test]
 fn campaign_halo1d() {
-    run_campaign(&AppSpec { name: "halo1d", build: halo_build, verify: halo_verify });
+    run_campaign(&halo_spec());
 }
 
 #[test]

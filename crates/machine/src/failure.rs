@@ -1,8 +1,27 @@
-//! Scheduled node-failure injection (§III-B's "simulated failure" runs).
+//! Scheduled node-failure injection (§III-B's "simulated failure" runs),
+//! extended with *spot preemptions*: failures the platform announces ahead
+//! of time (cloud §IV-F), giving the runtime a warning window in which to
+//! evacuate state instead of paying for a rollback.
 
 use crate::SimTime;
 
-/// One injected crash: the node containing `pe` fails at `time`.
+/// How a scheduled failure manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailureKind {
+    /// The node dies with no warning (the classic injected crash).
+    #[default]
+    Crash,
+    /// Spot-instance preemption: the platform announces at
+    /// `time - warning` that the node will be reclaimed at `time`. A long
+    /// enough warning lets the runtime drain the node proactively; a short
+    /// one degrades to the ordinary crash/restart path.
+    Preemption {
+        /// Advance notice before the kill lands.
+        warning: SimTime,
+    },
+}
+
+/// One injected failure: the node containing `pe` dies at `time`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Failure {
     /// When the node dies.
@@ -10,6 +29,38 @@ pub struct Failure {
     /// A PE on the failing node (the runtime expands this to the node's
     /// full PE range using its node size).
     pub pe: usize,
+    /// Crash or announced preemption.
+    pub kind: FailureKind,
+}
+
+impl Failure {
+    /// An unannounced crash at `time`.
+    pub fn crash(time: SimTime, pe: usize) -> Self {
+        Failure {
+            time,
+            pe,
+            kind: FailureKind::Crash,
+        }
+    }
+
+    /// A preemption landing at `time`, announced `warning` earlier.
+    pub fn preemption(time: SimTime, pe: usize, warning: SimTime) -> Self {
+        Failure {
+            time,
+            pe,
+            kind: FailureKind::Preemption { warning },
+        }
+    }
+
+    /// When the failure becomes visible to the runtime: the announcement
+    /// time for preemptions (saturating at zero), the kill time for
+    /// crashes.
+    pub fn visible_at(&self) -> SimTime {
+        match self.kind {
+            FailureKind::Crash => self.time,
+            FailureKind::Preemption { warning } => self.time.saturating_sub(warning),
+        }
+    }
 }
 
 /// The full failure schedule for a run.
@@ -24,21 +75,35 @@ impl FailurePlan {
         FailurePlan { events: Vec::new() }
     }
 
-    /// Build from a list of (time, pe) pairs; sorts by time.
+    /// Build from a list of failures; sorts by kill time (stable, so
+    /// same-time entries keep their listed order).
     pub fn at(mut events: Vec<Failure>) -> Self {
         events.sort_by_key(|f| f.time);
         FailurePlan { events }
     }
 
-    /// Add one failure at its sorted position (stable: a failure inserted
+    /// Add one crash at its sorted position (stable: a failure inserted
     /// at an already-occupied time lands after the existing ones).
     pub fn push(&mut self, time: SimTime, pe: usize) {
-        let at = self.events.partition_point(|f| f.time <= time);
-        self.events.insert(at, Failure { time, pe });
+        self.push_failure(Failure::crash(time, pe));
     }
 
-    /// Merge another plan into this one, keeping time order (stable: on
-    /// ties, this plan's failures come first).
+    /// Add one preemption (kill at `time`, announced `warning` earlier) at
+    /// its sorted position, with the same stable tie-break as [`push`].
+    ///
+    /// [`push`]: FailurePlan::push
+    pub fn push_preemption(&mut self, time: SimTime, pe: usize, warning: SimTime) {
+        self.push_failure(Failure::preemption(time, pe, warning));
+    }
+
+    /// Add an arbitrary failure at its sorted position (stable).
+    pub fn push_failure(&mut self, f: Failure) {
+        let at = self.events.partition_point(|e| e.time <= f.time);
+        self.events.insert(at, f);
+    }
+
+    /// Merge another plan into this one, keeping kill-time order (stable:
+    /// on ties, this plan's failures come first).
     pub fn merge(&mut self, other: &FailurePlan) {
         let mut merged = Vec::with_capacity(self.events.len() + other.events.len());
         let (mut a, mut b) = (self.events.iter().peekable(), other.events.iter().peekable());
@@ -59,7 +124,7 @@ impl FailurePlan {
         self.events = merged;
     }
 
-    /// All scheduled failures in time order.
+    /// All scheduled failures in kill-time order.
     pub fn events(&self) -> &[Failure] {
         &self.events
     }
@@ -77,14 +142,8 @@ mod tests {
     #[test]
     fn plan_sorts_by_time() {
         let p = FailurePlan::at(vec![
-            Failure {
-                time: SimTime::from_secs(9),
-                pe: 1,
-            },
-            Failure {
-                time: SimTime::from_secs(3),
-                pe: 2,
-            },
+            Failure::crash(SimTime::from_secs(9), 1),
+            Failure::crash(SimTime::from_secs(3), 2),
         ]);
         assert_eq!(p.events()[0].pe, 2);
         assert_eq!(p.events()[1].pe, 1);
@@ -127,5 +186,24 @@ mod tests {
         let mut empty = FailurePlan::none();
         empty.merge(&FailurePlan::none());
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn preemptions_sort_by_kill_time_not_warning() {
+        // A preemption with a long warning is *announced* before an earlier
+        // crash, but the plan orders by when nodes actually die.
+        let mut p = FailurePlan::none();
+        p.push_preemption(SimTime::from_secs(10), 3, SimTime::from_secs(8));
+        p.push(SimTime::from_secs(5), 1);
+        assert_eq!(p.events()[0].pe, 1);
+        assert_eq!(p.events()[1].pe, 3);
+        assert_eq!(p.events()[1].visible_at(), SimTime::from_secs(2));
+        assert_eq!(p.events()[0].visible_at(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn visible_at_saturates_at_zero() {
+        let f = Failure::preemption(SimTime::from_secs(3), 0, SimTime::from_secs(30));
+        assert_eq!(f.visible_at(), SimTime::ZERO);
     }
 }

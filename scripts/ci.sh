@@ -1,8 +1,9 @@
 #!/bin/sh
 # Single-entry CI gate: release build, full test suite, clippy (warnings
-# are errors, all crates), and the three end-to-end smokes (tracing,
-# record/replay, and engine throughput — which also validates the
-# committed BENCH_engine.json). Exits non-zero on the first failure.
+# are errors, all crates), and the four end-to-end smokes (tracing,
+# record/replay, engine throughput, and the elastic controller — the last
+# two also validate the committed BENCH_engine.json / BENCH_elastic.json).
+# Exits non-zero on the first failure.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -23,5 +24,8 @@ sh scripts/replay_smoke.sh
 
 echo "==> bench smoke"
 sh scripts/bench_smoke.sh
+
+echo "==> elastic smoke"
+sh scripts/elastic_smoke.sh
 
 echo "CI OK"

@@ -1,0 +1,71 @@
+#!/bin/sh
+# Elastic-controller smoke test: run the policy sweep + preemption pair in
+# --smoke mode (tiny configs; the pair still asserts proactive evacuation
+# beats checkpoint restart, with zero rollbacks, at smoke scale), then
+# validate the committed BENCH_elastic.json — CI fails if the Pareto
+# record is missing, malformed, or no longer shows an elastic policy
+# dominating the static baseline under interference.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo run --release -q -p charm-bench --bin elastic_bench -- --smoke
+
+python3 - <<'PYEOF'
+import json
+
+with open("BENCH_elastic.json") as f:
+    doc = json.load(f)
+
+for k in ("bench", "mode", "note", "apps"):
+    assert k in doc, f"BENCH_elastic.json missing top-level key {k!r}"
+assert doc["bench"] == "elastic", f"unexpected bench id {doc['bench']!r}"
+assert doc["mode"] == "full", "committed record must come from a full run"
+
+names = {a["name"] for a in doc["apps"]}
+assert names == {"stencil2d", "leanmd"}, f"app set mismatch: {sorted(names)}"
+
+expected_policies = {"static", "observe", "hysteresis-conservative", "hysteresis-aggressive"}
+for app in doc["apps"]:
+    name = app["name"]
+    rows = {r["policy"]: r for r in app["policies"]}
+    assert set(rows) == expected_policies, f"{name}: policy set mismatch: {sorted(rows)}"
+    for p, r in rows.items():
+        for k in ("makespan_s", "pe_seconds", "evacuations", "restarts",
+                  "reconfigures", "final_alive_pes", "degraded"):
+            assert k in r, f"{name}/{p}: missing {k!r}"
+        assert r["makespan_s"] > 0, f"{name}/{p}: zero makespan"
+        assert r["pe_seconds"] > 0, f"{name}/{p}: zero PE-seconds"
+
+    # Observation must be free: same virtual makespan as static.
+    assert abs(rows["static"]["makespan_s"] - rows["observe"]["makespan_s"]) < 1e-9, (
+        f"{name}: observe-only controller changed the makespan"
+    )
+
+    # The Pareto claim: under interference some elastic policy beats static
+    # on cost without losing time.
+    assert app["elastic_dominates_static"] is True, (
+        f"{name}: no elastic policy dominates the static baseline any more"
+    )
+    st = rows["static"]
+    assert any(
+        r["makespan_s"] <= st["makespan_s"] + 1e-9 and r["pe_seconds"] < st["pe_seconds"]
+        for p, r in rows.items() if p.startswith("hysteresis")
+    ), f"{name}: dominance flag contradicts the rows"
+
+    # The preemption pair: proactive evacuation survives with zero
+    # rollbacks and beats the zero-warning restart path outright.
+    pair = app["preemption"]
+    assert pair["evac_rollbacks"] == 0, f"{name}: proactive drain rolled back"
+    assert pair["evacuations"] >= 1, f"{name}: no evacuation recorded"
+    assert pair["restart_rollbacks"] >= 1, f"{name}: restart arm never rolled back"
+    assert pair["evac_makespan_s"] < pair["restart_makespan_s"], (
+        f"{name}: evacuation ({pair['evac_makespan_s']:.6f}s) no faster than "
+        f"restart ({pair['restart_makespan_s']:.6f}s)"
+    )
+
+print(f"BENCH_elastic.json ok: {len(doc['apps'])} apps, "
+      "elastic dominates static under interference, "
+      "proactive evacuation beats checkpoint restart in both")
+PYEOF
+
+echo "elastic smoke test passed"
