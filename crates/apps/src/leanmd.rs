@@ -72,6 +72,10 @@ pub struct LeanMdConfig {
     pub seed: u64,
     /// Projections-lite tracing (None = off; see `charm_core::trace`).
     pub trace: Option<charm_core::TraceConfig>,
+    /// Streaming trace sinks, installed right after the runtime is built —
+    /// before any chare exists — so they observe the complete record
+    /// stream. Requires `trace` to be set.
+    pub trace_sinks: Vec<Box<dyn charm_core::TraceSink>>,
     /// Record a replay log (None = off; see `charm_core::replay`).
     pub record: Option<charm_core::ReplayConfig>,
     /// Schedule perturbation for race hunting (None = off).
@@ -101,6 +105,7 @@ impl Default for LeanMdConfig {
             strategy: None,
             seed: 42,
             trace: None,
+            trace_sinks: Vec::new(),
             record: None,
             perturb: None,
         }
@@ -566,6 +571,9 @@ pub fn run_with_runtime(mut config: LeanMdConfig) -> (AppRun, Runtime) {
         b = b.strategy(s);
     }
     let mut rt = b.build();
+    for s in config.trace_sinks.drain(..) {
+        rt.add_trace_sink(s);
+    }
 
     let cells: ArrayProxy<Cell> = rt.create_array("leanmd_cells");
     let computes: ArrayProxy<Compute> = rt.create_array("leanmd_computes");

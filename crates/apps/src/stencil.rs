@@ -50,6 +50,10 @@ pub struct StencilConfig {
     pub perturb: Option<charm_core::PerturbConfig>,
     /// Projections-lite tracing (None = off; see `charm_core::trace`).
     pub trace: Option<charm_core::TraceConfig>,
+    /// Streaming trace sinks, installed right after the runtime is built —
+    /// before any chare exists — so they observe the complete record
+    /// stream. Requires `trace` to be set.
+    pub trace_sinks: Vec<Box<dyn charm_core::TraceSink>>,
     /// Simulator worker threads (1 = sequential engine).
     pub threads: usize,
 }
@@ -77,6 +81,7 @@ impl StencilConfig {
             record: None,
             perturb: None,
             trace: None,
+            trace_sinks: Vec::new(),
             threads: 1,
         }
     }
@@ -308,6 +313,9 @@ pub fn run_with_runtime(mut config: StencilConfig) -> (AppRun, Runtime) {
         b = b.elastic(ec);
     }
     let mut rt = b.build();
+    for s in config.trace_sinks.drain(..) {
+        rt.add_trace_sink(s);
+    }
     for (t, pe) in &config.failures {
         rt.schedule_failure(*t, *pe);
     }

@@ -37,6 +37,7 @@ fn config(scheme: DvfsScheme, with_lb: bool, scale: Scale) -> StencilConfig {
         record: None,
         perturb: None,
         trace: None,
+        trace_sinks: Vec::new(),
         threads: 1,
     }
 }

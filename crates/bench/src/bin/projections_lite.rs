@@ -1,30 +1,43 @@
-//! Trace demo driver: run leanmd with full tracing, export the Chrome-trace
-//! JSON + CSV event logs to `results/`, print the projections-lite report,
-//! and self-check the core accounting invariant (traced per-entry busy time
-//! must equal the scheduler's per-PE busy time).
+//! Trace demo driver: run leanmd with full tracing *streamed* — Chrome-trace
+//! JSON + CSV flow through file sinks to `results/` while the run executes —
+//! plus the online critical-path analyzer, print the projections-lite
+//! report, and self-check the core accounting invariants:
+//!
+//! * traced per-entry busy time must equal the scheduler's per-PE busy time,
+//! * the streamed files must be byte-identical to the in-memory
+//!   arrival-order exporters (the rings retained every record),
+//! * the critical-path length must not exceed the makespan.
 //!
 //! Open `results/trace_leanmd.json` at <https://ui.perfetto.dev> — one track
 //! per PE plus an RTS track with LB/FT/DVFS instants.
 
 use charm_apps::leanmd::{run_with_runtime, LeanMdConfig};
 use charm_bench::results_path;
-use charm_core::{SimTime, TraceConfig};
+use charm_core::{ChromeStreamSink, CsvStreamSink, SimTime, TraceConfig};
 use charm_lb::GreedyLb;
 
 fn main() {
-    let (run, rt) = run_with_runtime(LeanMdConfig {
+    let stream_json = results_path("trace_leanmd_stream.json").expect("results dir");
+    let stream_csv = results_path("trace_leanmd_stream.csv").expect("results dir");
+    let (run, mut rt) = run_with_runtime(LeanMdConfig {
         cells_per_dim: 3,
         atoms_per_cell: 40,
         steps: 6,
         lb_every: 3,
         strategy: Some(Box::new(GreedyLb)),
         ckpt_at: Some(4),
-        trace: Some(TraceConfig::default()),
+        trace: Some(TraceConfig::default().with_critical_path()),
+        trace_sinks: vec![
+            Box::new(ChromeStreamSink::create(&stream_json).expect("stream sink")),
+            Box::new(CsvStreamSink::create(&stream_csv).expect("stream sink")),
+        ],
         ..LeanMdConfig::default()
     });
     assert!(run.unrecoverable.is_none(), "demo run must complete");
+    let sink_stats = rt.finish_trace();
 
-    // Projections "summary mode": always-on aggregates, printed as a report.
+    // Projections "summary mode": always-on aggregates, printed as a report
+    // (includes the critical-path attribution and per-sink delivery stats).
     let report = rt.projections_report(8).expect("tracing was enabled");
     print!("{report}");
 
@@ -39,6 +52,9 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    for p in [&stream_json, &stream_csv] {
+        println!("  -> {} (streamed)", p.display());
     }
 
     // Acceptance self-check: the profile totals must agree with the
@@ -55,8 +71,53 @@ fn main() {
         eprintln!("PROFILE MISMATCH: {profile_s} vs {} (rel {rel:e})", busy.as_secs_f64());
         std::process::exit(1);
     }
+
+    // Streaming self-check: nothing shed, every record delivered to both
+    // sinks, and the files on disk match the in-memory arrival-order
+    // exporters byte for byte.
+    let tr = rt.tracer().expect("tracing was enabled");
+    if tr.dropped_events() != 0 {
+        eprintln!("RING SHED on a demo-sized run: {} records", tr.dropped_events());
+        std::process::exit(1);
+    }
+    if sink_stats.len() != 2 || sink_stats.iter().any(|s| s.dropped != 0 || s.records == 0) {
+        eprintln!("SINK STATS unexpected: {sink_stats:?}");
+        std::process::exit(1);
+    }
+    let streamed = std::fs::read_to_string(&stream_json).expect("streamed json");
+    if streamed != rt.trace_chrome_json_arrival().expect("tracing was enabled") {
+        eprintln!("STREAMED JSON != in-memory arrival exporter");
+        std::process::exit(1);
+    }
+    let streamed = std::fs::read_to_string(&stream_csv).expect("streamed csv");
+    if streamed != rt.trace_csv_arrival().expect("tracing was enabled") {
+        eprintln!("STREAMED CSV != in-memory arrival exporter");
+        std::process::exit(1);
+    }
+
+    // Critical path: a lower bound on (and attribution of) the makespan.
+    // The driver exits from the final reduction, so entries already under
+    // way when the clock stopped may overhang end_time by at most one
+    // entry duration (see Tracer::critical_path).
+    let cp = rt
+        .tracer()
+        .expect("tracing was enabled")
+        .critical_path()
+        .expect("entries executed");
+    let end_s = rt.summary().end_time.as_secs_f64();
+    let max_entry_s = rt.trace_profiles().iter().map(|p| p.max_s).fold(0.0, f64::max);
+    if cp.len_s <= 0.0 || cp.len_s > end_s + max_entry_s {
+        eprintln!(
+            "CRITICAL PATH {} outside (0, makespan {end_s} + max entry {max_entry_s}]",
+            cp.len_s
+        );
+        std::process::exit(1);
+    }
+
     println!(
-        "  self-check ok: traced busy time {traced} == scheduler busy time ({} entries)",
-        run.entries
+        "  self-check ok: traced busy time {traced} == scheduler busy time ({} entries); \
+         streamed files byte-equal; critical path {:.1}% of makespan",
+        run.entries,
+        100.0 * cp.len_s / end_s
     );
 }

@@ -76,6 +76,7 @@ pub mod power;
 pub mod replay;
 mod runtime;
 pub mod trace;
+pub mod tsink;
 
 pub use array::{ArrayId, ArrayProxy, ObjId, Payload};
 pub use chare::{Callback, Chare, RedOp, RedValue, SysEvent};
@@ -91,7 +92,11 @@ pub use parallel::{default_threads, set_default_threads};
 pub use power::DvfsScheme;
 pub use replay::{DigestPoint, ExecRec, PerturbConfig, ReplayConfig, ReplayLog, SendRec};
 pub use runtime::{HomeMap, RunSummary, Runtime, RuntimeBuilder, Unrecoverable, ENVELOPE_BYTES};
-pub use trace::{EntryKind, TraceConfig, TraceEventKind, TraceProfile, TraceRecord, Tracer};
+pub use trace::{
+    CriticalPath, EntryKind, LogHist, NameTable, SinkStats, TraceConfig, TraceEventKind,
+    TraceProfile, TraceRecord, TraceSink, Tracer,
+};
+pub use tsink::{ChromeStreamSink, CountingSink, CsvStreamSink};
 
 // Re-exported so applications depending on charm-core alone can name the
 // machine substrate.

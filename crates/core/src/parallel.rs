@@ -232,6 +232,16 @@ impl Runtime {
         if self.net.min_remote_delay().0 == 0 {
             return None;
         }
+        // External sinks write files in arrival order and the critical-path
+        // analyzer chains Arc nodes across sends — both are sequential-only
+        // (the silent-fallback contract keeps results byte-identical).
+        if self
+            .tracer
+            .as_ref()
+            .is_some_and(|t| t.has_sinks() || t.cp_enabled())
+        {
+            return None;
+        }
         if self.thermal.is_some()
             || self.perturb.is_some()
             || self.elastic.is_some()
@@ -437,6 +447,8 @@ impl Runtime {
                     .tracer
                     .as_ref()
                     .map(|tr| Tracer::new(tr.config().clone(), n)),
+                cur_cp: None,
+                cp_carry: None,
                 recorder: self.recorder.as_ref().map(|r| Recorder::new(r.cfg.clone())),
                 perturb: None,
                 keys: self.keys.clone(),

@@ -56,6 +56,11 @@ pub(crate) struct ContribRec {
     pub value: RedValue,
     pub op: RedOp,
     pub cb: Callback,
+    /// Critical-path end (ns) and chain of the contributing entry, when the
+    /// analyzer is on (always `(0, None)` in shard mode — the analyzer
+    /// forces the sequential engine).
+    pub cp_end: u64,
+    pub cp_node: Option<std::sync::Arc<crate::trace::CpNode>>,
 }
 
 /// A metric sample tagged with its producer's dispatch order so parallel
@@ -155,6 +160,11 @@ pub(crate) struct Envelope {
     /// than recovered through the recorder's origin map — so a shard can
     /// attribute a message that was produced on a different shard.
     pub src_obj: Option<ObjId>,
+    /// Critical-path provenance: the dependency chain ending at the send
+    /// that produced this message. Only populated when the tracer's
+    /// critical-path analyzer is on (sequential engine); `None` otherwise,
+    /// so the common path stays allocation-free.
+    pub cp: Option<Box<crate::trace::CpMsg>>,
 }
 
 pub(crate) struct Pending {
@@ -224,6 +234,11 @@ pub(crate) struct RedState {
     op: RedOp,
     cb: Callback,
     bytes: usize,
+    /// Latest-finishing contributor's critical-path `(end_ns, chain)` — the
+    /// reduction completes no earlier than its slowest contributor, so the
+    /// completion callback chains from it. `(0, None)` when the analyzer is
+    /// off.
+    cp: (u64, Option<std::sync::Arc<crate::trace::CpNode>>),
 }
 
 /// Summary of a completed run.
@@ -246,6 +261,11 @@ pub struct RunSummary {
     /// Simulator throughput: events processed per wall-clock second
     /// (0 when no wall time has accumulated yet).
     pub events_per_sec: f64,
+    /// Trace log records shed from ring buffers (0 when tracing is off).
+    /// Streamed sinks and summary aggregates never drop.
+    pub trace_dropped: u64,
+    /// Delivery stats for every installed streaming trace sink.
+    pub trace_sinks: Vec<crate::trace::SinkStats>,
 }
 
 /// A failure (or cascade) destroyed state that no surviving checkpoint
@@ -295,6 +315,7 @@ pub struct RuntimeBuilder {
     track_comm: bool,
     auto_ckpt: Option<SimTime>,
     trace: Option<TraceConfig>,
+    trace_sinks: Vec<Box<dyn crate::trace::TraceSink>>,
     record: Option<ReplayConfig>,
     perturb: Option<PerturbConfig>,
     threads: usize,
@@ -374,6 +395,16 @@ impl RuntimeBuilder {
     /// recorded and the per-message hooks reduce to a branch on `None`.
     pub fn tracing(mut self, cfg: TraceConfig) -> Self {
         self.trace = Some(cfg);
+        self
+    }
+
+    /// Install a streaming [`TraceSink`](crate::trace::TraceSink): every
+    /// traced record is fanned out to it as it is produced, so full event
+    /// logs flow to disk instead of accumulating in memory. Requires
+    /// [`RuntimeBuilder::tracing`]; forces the sequential engine. Call
+    /// [`Runtime::finish_trace`] after the run to flush and finalize.
+    pub fn trace_sink(mut self, sink: Box<dyn crate::trace::TraceSink>) -> Self {
+        self.trace_sinks.push(sink);
         self
     }
 
@@ -488,7 +519,17 @@ impl RuntimeBuilder {
         let rngs = (0..n)
             .map(|pe| StdRng::seed_from_u64(self.seed ^ (pe as u64).wrapping_mul(0x9E3779B97F4A7C15)))
             .collect();
-        let tracer = self.trace.map(|cfg| Tracer::new(cfg, n));
+        assert!(
+            self.trace_sinks.is_empty() || self.trace.is_some(),
+            "trace_sink requires tracing to be enabled"
+        );
+        let tracer = self.trace.map(|cfg| {
+            let mut tr = Tracer::new(cfg, n);
+            for sink in self.trace_sinks {
+                tr.add_sink(sink);
+            }
+            tr
+        });
         let recorder = self.record.map(Recorder::new);
         let perturb = self.perturb.map(|cfg| {
             let rng = StdRng::seed_from_u64(cfg.seed ^ 0x0070_6572_7475_7262); // "perturb"
@@ -547,6 +588,8 @@ impl RuntimeBuilder {
             track_comm: self.track_comm,
             comm: FxHashMap::default(),
             tracer,
+            cur_cp: None,
+            cp_carry: None,
             recorder,
             perturb,
             keys,
@@ -653,6 +696,14 @@ pub struct Runtime {
     pub(crate) comm: FxHashMap<(ObjId, ObjId), u64>,
     /// Projections-lite tracing, when enabled ([`RuntimeBuilder::tracing`]).
     pub(crate) tracer: Option<Tracer>,
+    /// Critical-path node of the entry method currently executing (set for
+    /// the span of `apply_actions`, so its sends inherit the chain). Only
+    /// ever `Some` when the tracer's critical-path analyzer is on.
+    pub(crate) cur_cp: Option<std::sync::Arc<crate::trace::CpNode>>,
+    /// `(end_ns, chain)` of the latest-finishing contributor of a completed
+    /// reduction, set around the completion-callback delivery so the
+    /// callback's critical path chains through the reduction.
+    pub(crate) cp_carry: Option<(u64, Option<std::sync::Arc<crate::trace::CpNode>>)>,
     /// Replay recording, when enabled ([`RuntimeBuilder::record`]).
     pub(crate) recorder: Option<Recorder>,
     /// Schedule perturbation, when enabled ([`RuntimeBuilder::perturb`]).
@@ -712,6 +763,7 @@ impl Runtime {
             track_comm: false,
             auto_ckpt: None,
             trace: None,
+            trace_sinks: Vec::new(),
             record: None,
             perturb: None,
             threads: crate::parallel::default_threads(),
@@ -737,6 +789,9 @@ impl Runtime {
         self.stores.push(Box::new(ArrayStore::<C>::new(id, name)));
         self.home_maps.push(HomeMap::Hash);
         self.array_names.insert(name.to_string(), id);
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.register_array(id, name);
+        }
         ArrayProxy::new(id)
     }
 
@@ -819,6 +874,7 @@ impl Runtime {
             src_pe: 0,
             rec_id,
             src_obj: None,
+            cp: None,
         });
         self.route_and_schedule(env, self.now);
     }
@@ -853,6 +909,7 @@ impl Runtime {
                 src_pe: 0,
                 rec_id,
                 src_obj: None,
+                cp: None,
             });
             self.route_and_schedule(env, self.now);
         }
@@ -897,10 +954,12 @@ impl Runtime {
                 src_pe: 0,
                 rec_id,
                 src_obj: None,
+                cp: self.cp_msg(self.now),
             });
             self.bytes_moved += bytes as u64;
             if let Some(tr) = &mut self.tracer {
                 tr.on_send(self.now, 0, pe, dst, bytes);
+                tr.on_msg_latency(tree_delay);
             }
             self.sched_deliver(self.now + tree_delay, pe, env);
         }
@@ -1236,6 +1295,11 @@ impl Runtime {
             } else {
                 0.0
             },
+            trace_dropped: self.tracer.as_ref().map_or(0, |t| t.dropped_events()),
+            trace_sinks: self
+                .tracer
+                .as_ref()
+                .map_or_else(Vec::new, |t| t.sink_stats()),
         }
     }
 
@@ -1564,9 +1628,16 @@ impl Runtime {
                 dispatch,
             );
         }
+        // Extend the critical-path chain through this execution; outgoing
+        // sends (applied below) inherit the node via `cur_cp`.
+        self.cur_cp = match &mut self.tracer {
+            Some(tr) => tr.cp_on_exec(pe, env.dst, entry_kind, self.now, duration, env.cp.take()),
+            None => None,
+        };
         let mut actions = actions;
         self.apply_actions(env.dst, pe, end, &mut actions);
         self.action_scratch = actions;
+        self.cur_cp = None;
         if let Some(r) = &mut self.recorder {
             r.end_exec();
         }
@@ -1592,6 +1663,20 @@ impl Runtime {
             }
         }
         s
+    }
+
+    /// Critical-path stamp for a message sent at `sent_at`: the current
+    /// execution's chain, or a fresh root at the send time (host / RTS
+    /// origin). `None` whenever the analyzer is off — the common case.
+    pub(crate) fn cp_msg(&self, sent_at: SimTime) -> Option<Box<crate::trace::CpMsg>> {
+        if !self.tracer.as_ref().is_some_and(|t| t.cp_enabled()) {
+            return None;
+        }
+        Some(Box::new(crate::trace::CpMsg {
+            cp_end: self.cur_cp.as_ref().map_or(sent_at.as_nanos(), |n| n.end_ns),
+            from: self.cur_cp.clone(),
+            sent_at,
+        }))
     }
 
     pub(crate) fn apply_actions(
@@ -1645,6 +1730,7 @@ impl Runtime {
                         src_pe,
                         rec_id,
                         src_obj: Some(src),
+                        cp: None,
                     });
                     self.route_and_schedule(env, at + delay);
                 }
@@ -1722,7 +1808,7 @@ impl Runtime {
     /// Cache hit → direct send. Stale cache → the stale PE forwards (cost
     /// modeled in `execute`, which re-routes). Miss → home-PE query round
     /// trip precedes the send.
-    pub(crate) fn route_and_schedule(&mut self, env: Box<Envelope>, at: SimTime) {
+    pub(crate) fn route_and_schedule(&mut self, mut env: Box<Envelope>, at: SimTime) {
         let src = env.src_pe;
         let dst = env.dst;
         let Some((true_pe, epoch)) = self.locate_global(dst) else {
@@ -1770,6 +1856,9 @@ impl Runtime {
         };
         let delay = self.net.delay(src, target_pe, env.bytes, env.rec_id);
         self.bytes_moved += env.bytes as u64;
+        if env.cp.is_none() {
+            env.cp = self.cp_msg(at);
+        }
         if let Some(tr) = &mut self.tracer {
             tr.on_send(at, src, target_pe, dst, env.bytes);
         }
@@ -1792,6 +1881,9 @@ impl Runtime {
             }
             _ => SimTime::ZERO,
         };
+        if let Some(tr) = &mut self.tracer {
+            tr.on_msg_latency(extra + delay + jitter);
+        }
         self.sched_deliver(at + extra + delay + jitter, target_pe, env);
     }
 
@@ -1843,10 +1935,12 @@ impl Runtime {
                 src_pe,
                 rec_id,
                 src_obj: Some(src),
+                cp: self.cp_msg(at),
             });
             self.bytes_moved += bytes as u64;
             if let Some(tr) = &mut self.tracer {
                 tr.on_send(at, src_pe, pe, dst, bytes);
+                tr.on_msg_latency(tree_delay);
             }
             self.sched_deliver(at + tree_delay, pe, env);
         }
@@ -1873,6 +1967,8 @@ impl Runtime {
             value,
             op,
             cb,
+            cp_end: self.cur_cp.as_ref().map_or(0, |n| n.end_ns),
+            cp_node: self.cur_cp.clone(),
         });
     }
 
@@ -1903,6 +1999,8 @@ impl Runtime {
             value,
             op,
             cb,
+            cp_end,
+            cp_node,
         } = rec;
         let expected = self.array_len_global(array);
         let done = {
@@ -1916,6 +2014,7 @@ impl Runtime {
                     op,
                     cb,
                     bytes: value.wire_size(),
+                    cp: (0, None),
                 });
             assert_eq!(entry.op, op, "mixed reduction ops for tag {tag}");
             entry.count += 1;
@@ -1923,6 +2022,9 @@ impl Runtime {
                 None => value,
                 Some(acc) => entry.op.combine(acc, &value),
             });
+            if cp_end >= entry.cp.0 && cp_node.is_some() {
+                entry.cp = (cp_end, cp_node);
+            }
             entry.count >= entry.expected
         };
         if done {
@@ -1943,7 +2045,13 @@ impl Runtime {
             if let Some(r) = &mut self.recorder {
                 r.origin_dispatch = Some((rec_merge_t, merge_key));
             }
+            // The callback's critical path chains from the latest-finishing
+            // contributor (the reduction could not complete before it).
+            if st.cp.1.is_some() {
+                self.cp_carry = Some((st.cp.0, st.cp.1));
+            }
             self.deliver_callback_tree(st.cb, SysEvent::Reduction { tag, value }, done, depth);
+            self.cp_carry = None;
             if let Some(r) = &mut self.recorder {
                 r.origin_dispatch = None;
             }
@@ -1999,6 +2107,18 @@ impl Runtime {
             r.note_origin(rec_id);
             r.on_routed(rec_id, ENVELOPE_BYTES, pe, pe, tree_depth, 0);
         }
+        // Reduction-completion callbacks chain from the latest-finishing
+        // contributor (`cp_carry`); other system events root a fresh chain
+        // at their scheduled time.
+        let cp = if self.tracer.as_ref().is_some_and(|t| t.cp_enabled()) {
+            Some(Box::new(crate::trace::CpMsg {
+                from: self.cp_carry.as_ref().and_then(|(_, n)| n.clone()),
+                cp_end: self.cp_carry.as_ref().map_or(at.as_nanos(), |(e, _)| *e),
+                sent_at: at,
+            }))
+        } else {
+            None
+        };
         let env = Box::new(Envelope {
             dst,
             payload: Payload::Sys(ev),
@@ -2007,8 +2127,13 @@ impl Runtime {
             src_pe: pe,
             rec_id,
             src_obj: None,
+            cp,
         });
-        self.sched_deliver(at + self.net.params().local_delivery, pe, env);
+        let local = self.net.params().local_delivery;
+        if let Some(tr) = &mut self.tracer {
+            tr.on_msg_latency(local);
+        }
+        self.sched_deliver(at + local, pe, env);
     }
 
     // ----- location views (sequential store vs. shared parallel table) -------

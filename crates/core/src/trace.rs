@@ -3,7 +3,8 @@
 //! the runtime *observing itself*; in real Charm++ that surface is the
 //! Projections framework).
 //!
-//! Two consumption modes mirror Projections' log vs. summary split:
+//! Three consumption modes mirror Projections' log vs. summary split, plus
+//! the streaming mode that survives 128 K–1 M simulated PEs:
 //!
 //! * **Full log** — every runtime event (entry execution, message send/recv,
 //!   PE idle/busy transitions, LB rounds with migration lists, checkpoint /
@@ -13,14 +14,31 @@
 //!   matter how long the run. The log exports to Chrome trace-event JSON
 //!   ([`Runtime::trace_chrome_json`], loadable in Perfetto or
 //!   `chrome://tracing`, one track per PE plus an RTS track) and to CSV.
+//! * **Streaming sinks** — every record also fans out, at record time, to
+//!   any [`TraceSink`]s installed via
+//!   [`RuntimeBuilder::trace_sink`](crate::RuntimeBuilder::trace_sink):
+//!   the built-in [`ChromeStreamSink`] / [`CsvStreamSink`] write the exact
+//!   bytes of the in-memory exporters incrementally to disk, so the full
+//!   event log survives runs far larger than any ring budget. Sinks report
+//!   [`SinkStats`] (records, bytes, write errors) surfaced in
+//!   [`RunSummary`](crate::RunSummary) and the report footer.
 //! * **Summary** — always-cheap streaming aggregates that never depend on
-//!   ring capacity: per-entry-method time profiles (count/total/min/max plus
-//!   a log₂ duration histogram), a binned per-PE utilization timeline that
-//!   coarsens itself to stay within a bin budget, and a PE×PE
-//!   communication-volume matrix. [`Runtime::projections_report`] renders
-//!   them as a text report (top-k entry methods, utilization profile, comm
-//!   hotspots, LB/FT event ledger) — the input the control-point tuner and
-//!   future schedulers consume.
+//!   ring capacity: per-entry-method time profiles (count/total/min/max, a
+//!   log₂ duration histogram, *and* an HDR-style sub-bucketed [`LogHist`]
+//!   giving p50/p99/p999 without storing samples), a modeled message-latency
+//!   histogram, a binned per-PE utilization timeline that coarsens itself to
+//!   stay within a bin budget (and collapses to one aggregate row above
+//!   [`TraceConfig::util_pe_cap`] PEs), a *sparse* top-K communication
+//!   matrix (per-source fanout capped by [`TraceConfig::comm_fanout_cap`] —
+//!   no dense PE×PE array), and a bounded LB/FT ledger.
+//!   [`Runtime::projections_report`] renders them as a text report.
+//!
+//! On top of the event flow an optional **critical-path analyzer**
+//! ([`TraceConfig::with_critical_path`]) maintains, online and without
+//! storing events, the longest entry-execution + message-latency chain that
+//! ends at each PE; [`Tracer::critical_path`] attributes the makespan to
+//! entry methods and PEs. The path length is ≤ the makespan by construction
+//! and equals it on serial dependency chains (tested).
 //!
 //! Tracing is off unless [`RuntimeBuilder::tracing`](crate::RuntimeBuilder::tracing)
 //! installs a [`TraceConfig`]; when off, every hook is a skipped `if let`
@@ -28,26 +46,43 @@
 //!
 //! Determinism: records are produced in simulator dispatch order and carry
 //! only virtual times, so two runs with the same seed and machine profile
-//! emit byte-identical exports (tested in `tests/trace.rs`).
+//! emit byte-identical exports (tested in `tests/trace.rs`); streamed files
+//! are byte-identical to the arrival-order in-memory exporters
+//! ([`Runtime::trace_chrome_json_arrival`]) whenever nothing was dropped.
 
 use crate::array::{ArrayId, ObjId};
 use crate::runtime::Runtime;
 use charm_machine::SimTime;
+use fxhash::FxHashMap;
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Configures the tracing subsystem (see module docs).
 #[derive(Debug, Clone)]
 pub struct TraceConfig {
     /// Ring capacity per track (one track per PE plus one RTS track).
     /// `0` keeps only the summary aggregates; every log record then counts
-    /// as dropped.
+    /// as dropped (streaming sinks still see everything).
     pub log_capacity: usize,
     /// Initial utilization-timeline bin width.
     pub util_bin: SimTime,
     /// Bin budget for the utilization timeline; when the run outgrows it
     /// the bin width doubles and adjacent bins fold together.
     pub max_util_bins: usize,
+    /// Above this many PEs the utilization timeline keeps a single
+    /// machine-wide row instead of one per PE (O(PE × bins) → O(bins)).
+    pub util_pe_cap: usize,
+    /// Per-source cap on tracked communication partners (sparse top-K comm
+    /// matrix); traffic to further destinations is counted as shed.
+    /// `0` = unlimited.
+    pub comm_fanout_cap: usize,
+    /// Ledger lines retained (newest kept); older lines are shed and
+    /// counted, like ring records.
+    pub ledger_capacity: usize,
+    /// Maintain the online critical-path analyzer. Off by default: it holds
+    /// O(longest dependency chain) nodes and forces the sequential engine.
+    pub critical_path: bool,
 }
 
 impl Default for TraceConfig {
@@ -56,6 +91,10 @@ impl Default for TraceConfig {
             log_capacity: 1 << 16,
             util_bin: SimTime::from_millis(1),
             max_util_bins: 1024,
+            util_pe_cap: 4096,
+            comm_fanout_cap: 64,
+            ledger_capacity: 4096,
+            critical_path: false,
         }
     }
 }
@@ -67,6 +106,12 @@ impl TraceConfig {
             log_capacity: 0,
             ..TraceConfig::default()
         }
+    }
+
+    /// Enable the online critical-path analyzer (sequential engine only).
+    pub fn with_critical_path(mut self) -> Self {
+        self.critical_path = true;
+        self
     }
 }
 
@@ -246,8 +291,88 @@ pub struct TraceRecord {
     pub t: SimTime,
     /// Owning track.
     pub track: usize,
+    /// Arrival order: position in the tracer's global record stream (the
+    /// order streaming sinks observed).
+    pub seq: u64,
     /// What happened.
     pub kind: TraceEventKind,
+}
+
+// ---------------------------------------------------------------------------
+// Streaming sinks.
+
+/// Per-sink delivery counters, surfaced in [`RunSummary`](crate::RunSummary)
+/// and the `projections_report` footer so trace loss is never silent.
+#[derive(Debug, Clone, Default)]
+pub struct SinkStats {
+    /// Sink name (e.g. `chrome_stream`).
+    pub name: String,
+    /// Records delivered to the sink.
+    pub records: u64,
+    /// Records the sink failed to persist (e.g. write errors).
+    pub dropped: u64,
+    /// Payload bytes the sink has written out.
+    pub bytes_written: u64,
+}
+
+/// Maps array ids to names so sinks can format events without a `Runtime`
+/// in hand. Populated by `Runtime::create_array`; name resolution matches
+/// the in-memory exporters byte-for-byte.
+#[derive(Debug, Clone, Default)]
+pub struct NameTable {
+    arrays: Vec<String>,
+}
+
+impl NameTable {
+    pub(crate) fn register(&mut self, id: ArrayId, name: &str) {
+        let i = id.0 as usize;
+        if self.arrays.len() <= i {
+            self.arrays.resize(i + 1, String::new());
+        }
+        self.arrays[i] = name.to_string();
+    }
+
+    /// The array's registered name (`"?"` if unknown).
+    pub fn array_name(&self, id: ArrayId) -> &str {
+        match self.arrays.get(id.0 as usize) {
+            Some(s) if !s.is_empty() => s,
+            _ => "?",
+        }
+    }
+
+    /// `<array>::<entry>` — identical to the runtime-side resolution.
+    pub fn entry_name(&self, array: ArrayId, entry: EntryKind) -> String {
+        format!("{}::{}", self.array_name(array), entry.label())
+    }
+}
+
+/// A consumer of the live record stream. Events arrive incrementally, in
+/// dispatch order, as they are traced — a sink never needs the run to fit
+/// in memory. Installed via
+/// [`RuntimeBuilder::trace_sink`](crate::RuntimeBuilder::trace_sink).
+///
+/// The per-PE rings remain the built-in retention sink (their drops are
+/// counted separately by [`Tracer::dropped_events`]); external sinks see
+/// every record regardless of ring capacity.
+///
+/// External sinks force the sequential engine (the sharded engine cannot
+/// replay the global arrival order without buffering the run).
+pub trait TraceSink: Send {
+    /// Short stable identifier used in stats and reports.
+    fn name(&self) -> &'static str;
+    /// Called once before the first record.
+    fn begin(&mut self, num_tracks: usize, names: &NameTable) {
+        let _ = (num_tracks, names);
+    }
+    /// One traced record, in arrival order.
+    fn record(&mut self, rec: &TraceRecord, names: &NameTable);
+    /// Flush and finalize output. Idempotent; called by
+    /// [`Runtime::finish_trace`].
+    fn finish(&mut self, names: &NameTable) {
+        let _ = names;
+    }
+    /// Delivery counters so far.
+    fn stats(&self) -> SinkStats;
 }
 
 /// Bounded ring: keeps the newest `cap` records, counts what it sheds.
@@ -293,6 +418,108 @@ impl Ring {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Online histograms.
+
+const QH_EXACT: usize = 8; // values 0..8 get exact buckets
+const QH_SUB: usize = 8; // sub-buckets per octave (log₂ major bucket)
+const QH_BUCKETS: usize = QH_EXACT + 61 * QH_SUB;
+
+/// HDR-style log-bucketed histogram: 8 exact buckets below 8, then 8
+/// sub-buckets per power of two. Relative quantile error ≤ 1/8 — the
+/// estimate always lands in the same sub-bucket as the exact order
+/// statistic (property-tested) — in ~4 KB regardless of sample count.
+#[derive(Clone)]
+pub struct LogHist {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Default for LogHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHist {
+            counts: vec![0; QH_BUCKETS],
+            total: 0,
+        }
+    }
+
+    /// Bucket index for a value.
+    pub fn bucket_of(v: u64) -> usize {
+        if v < QH_EXACT as u64 {
+            v as usize
+        } else {
+            let m = 63 - v.leading_zeros() as usize;
+            QH_EXACT + (m - 3) * QH_SUB + ((v >> (m - 3)) & 7) as usize
+        }
+    }
+
+    /// Smallest value mapping to bucket `i` (the quantile estimate).
+    pub fn bucket_lo(i: usize) -> u64 {
+        if i < QH_EXACT {
+            i as u64
+        } else {
+            let m = 3 + (i - QH_EXACT) / QH_SUB;
+            let s = ((i - QH_EXACT) % QH_SUB) as u64;
+            (1u64 << m) + (s << (m - 3))
+        }
+    }
+
+    /// Record one sample.
+    pub fn add(&mut self, v: u64) {
+        self.counts[Self::bucket_of(v)] += 1;
+        self.total += 1;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The q-quantile estimate (lower bound of the bucket holding the
+    /// ⌈q·n⌉-th order statistic). `0` when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_lo(i);
+            }
+        }
+        Self::bucket_lo(QH_BUCKETS - 1)
+    }
+
+    /// Fold another histogram in (shard merge).
+    pub fn merge(&mut self, o: &LogHist) {
+        for (a, b) in self.counts.iter_mut().zip(o.counts.iter()) {
+            *a += b;
+        }
+        self.total += o.total;
+    }
+}
+
+impl std::fmt::Debug for LogHist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LogHist({} samples, p50={} p99={})",
+            self.total,
+            self.quantile(0.5),
+            self.quantile(0.99)
+        )
+    }
+}
+
 /// Streaming per-entry-method aggregate.
 #[derive(Debug, Clone)]
 struct EntryAgg {
@@ -302,6 +529,8 @@ struct EntryAgg {
     max: SimTime,
     /// Counts by ⌈log₂(duration in ns)⌉ bucket.
     hist: [u64; 64],
+    /// Sub-bucketed histogram for p50/p99/p999.
+    qhist: LogHist,
 }
 
 impl EntryAgg {
@@ -312,6 +541,7 @@ impl EntryAgg {
             min: SimTime::MAX,
             max: SimTime::ZERO,
             hist: [0; 64],
+            qhist: LogHist::new(),
         }
     }
 
@@ -322,6 +552,7 @@ impl EntryAgg {
         self.max = self.max.max(dur);
         let bucket = (64 - dur.as_nanos().max(1).leading_zeros() as usize).min(63);
         self.hist[bucket] += 1;
+        self.qhist.add(dur.as_nanos());
     }
 
     /// Fold another aggregate in (shard merge); all fields commute.
@@ -333,6 +564,7 @@ impl EntryAgg {
         for (a, b) in self.hist.iter_mut().zip(o.hist.iter()) {
             *a += b;
         }
+        self.qhist.merge(&o.qhist);
     }
 }
 
@@ -354,6 +586,12 @@ pub struct TraceProfile {
     pub min_s: f64,
     /// Longest execution, seconds.
     pub max_s: f64,
+    /// Median execution time, seconds (log-bucket estimate).
+    pub p50_s: f64,
+    /// 99th-percentile execution time, seconds (log-bucket estimate).
+    pub p99_s: f64,
+    /// 99.9th-percentile execution time, seconds (log-bucket estimate).
+    pub p999_s: f64,
     /// Non-empty log₂ histogram buckets: (upper bound in ns, count).
     pub hist: Vec<(u64, u64)>,
 }
@@ -369,24 +607,115 @@ impl TraceProfile {
     }
 }
 
-/// Self-coarsening binned busy-time timeline (bounded memory).
+// ---------------------------------------------------------------------------
+// Sparse communication matrix.
+
+#[derive(Debug, Clone)]
+struct CommCell {
+    src: u32,
+    dst: u32,
+    bytes: u64,
+    msgs: u64,
+}
+
+/// Sparse top-K comm matrix: tracks up to `cap` destinations per source
+/// (first-come, like a flow cache) and sheds the rest into counters.
+/// O(PE · cap) memory instead of the dense O(PE²) array.
+struct CommMatrix {
+    cap: usize,
+    idx: FxHashMap<u64, u32>,
+    cells: Vec<CommCell>,
+    /// Tracked destinations per source PE.
+    deg: Vec<u32>,
+    shed_msgs: u64,
+    shed_bytes: u64,
+}
+
+impl CommMatrix {
+    fn new(num_pes: usize, cap: usize) -> Self {
+        CommMatrix {
+            cap,
+            idx: FxHashMap::default(),
+            cells: Vec::new(),
+            deg: vec![0; num_pes],
+            shed_msgs: 0,
+            shed_bytes: 0,
+        }
+    }
+
+    fn key(src: usize, dst: usize) -> u64 {
+        ((src as u64) << 32) | dst as u64
+    }
+
+    fn add(&mut self, src: usize, dst: usize, bytes: u64) {
+        if let Some(&i) = self.idx.get(&Self::key(src, dst)) {
+            let c = &mut self.cells[i as usize];
+            c.bytes += bytes;
+            c.msgs += 1;
+        } else if self.cap == 0 || (self.deg[src] as usize) < self.cap {
+            self.idx.insert(Self::key(src, dst), self.cells.len() as u32);
+            self.cells.push(CommCell {
+                src: src as u32,
+                dst: dst as u32,
+                bytes,
+                msgs: 1,
+            });
+            self.deg[src] += 1;
+        } else {
+            self.shed_msgs += 1;
+            self.shed_bytes += bytes;
+        }
+    }
+
+    fn get(&self, src: usize, dst: usize) -> (u64, u64) {
+        match self.idx.get(&Self::key(src, dst)) {
+            Some(&i) => {
+                let c = &self.cells[i as usize];
+                (c.bytes, c.msgs)
+            }
+            None => (0, 0),
+        }
+    }
+
+    /// All tracked remote pairs, hottest first (bytes desc, then
+    /// (src, dst) asc — insertion-order independent).
+    fn top(&self) -> Vec<(usize, usize, u64, u64)> {
+        let mut pairs: Vec<(usize, usize, u64, u64)> = self
+            .cells
+            .iter()
+            .filter(|c| c.bytes > 0 && c.src != c.dst)
+            .map(|c| (c.src as usize, c.dst as usize, c.bytes, c.msgs))
+            .collect();
+        pairs.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| (a.0, a.1).cmp(&(b.0, b.1))));
+        pairs
+    }
+}
+
+/// Self-coarsening binned busy-time timeline (bounded memory). Above
+/// `util_pe_cap` PEs it keeps a single machine-wide row (`agg_over` > 0)
+/// instead of one per PE.
 struct UtilTimeline {
     bin_ns: u64,
     max_bins: usize,
-    /// Busy nanoseconds per bin, per PE.
+    /// When > 0, `per_pe` has one row aggregating this many PEs.
+    agg_over: usize,
+    /// Busy nanoseconds per bin, per PE (or aggregated).
     per_pe: Vec<Vec<u64>>,
 }
 
 impl UtilTimeline {
-    fn new(bin: SimTime, max_bins: usize, num_pes: usize) -> Self {
+    fn new(bin: SimTime, max_bins: usize, num_pes: usize, pe_cap: usize) -> Self {
+        let agg = num_pes > pe_cap.max(1);
         UtilTimeline {
             bin_ns: bin.as_nanos().max(1),
             max_bins: max_bins.max(2),
-            per_pe: vec![Vec::new(); num_pes],
+            agg_over: if agg { num_pes } else { 0 },
+            per_pe: vec![Vec::new(); if agg { 1 } else { num_pes }],
         }
     }
 
     fn add(&mut self, pe: usize, start: SimTime, end: SimTime) {
+        let pe = if self.agg_over > 0 { 0 } else { pe };
         if pe >= self.per_pe.len() || end <= start {
             return;
         }
@@ -444,42 +773,123 @@ impl UtilTimeline {
     }
 }
 
-/// Cap on LB/FT ledger lines kept for the report (rounds and failures are
-/// few; DVFS changes can tick every period).
-const LEDGER_CAP: usize = 4096;
+// ---------------------------------------------------------------------------
+// Online critical path.
 
-/// The tracing subsystem: bounded per-PE event logs plus streaming summary
-/// aggregates. Owned by the [`Runtime`]; construct via
+/// One executed entry on a dependency chain. Chains share structure via
+/// `Arc`; `Drop` is iterative so arbitrarily long chains cannot overflow
+/// the stack.
+pub(crate) struct CpNode {
+    parent: Option<Arc<CpNode>>,
+    pe: u32,
+    array: ArrayId,
+    entry: EntryKind,
+    dur_ns: u64,
+    /// Message latency charged to the edge into this node (0 when the
+    /// binding dependency was the PE being busy).
+    msg_wait_ns: u64,
+    pub(crate) end_ns: u64,
+}
+
+impl Drop for CpNode {
+    fn drop(&mut self) {
+        // Unlink ancestors iteratively: only while we hold the last
+        // reference, so shared suffixes stay alive for their other chains.
+        let mut p = self.parent.take();
+        while let Some(arc) = p {
+            match Arc::into_inner(arc) {
+                Some(mut node) => p = node.parent.take(),
+                None => break,
+            }
+        }
+    }
+}
+
+/// Critical-path provenance riding on a message: the sender's chain, its
+/// completion time, and when the message left (so latency = recv − sent).
+pub(crate) struct CpMsg {
+    pub(crate) from: Option<Arc<CpNode>>,
+    pub(crate) cp_end: u64,
+    pub(crate) sent_at: SimTime,
+}
+
+struct CpState {
+    /// Last node executed on each PE (the "PE busy" dependency).
+    heads: Vec<Option<Arc<CpNode>>>,
+    /// Node with the largest completion time seen so far.
+    best: Option<Arc<CpNode>>,
+}
+
+/// The resolved longest entry-execution + message-latency chain
+/// ([`Tracer::critical_path`]). `len_s ≤` the makespan by construction;
+/// equality holds on serial dependency chains.
+#[derive(Debug, Clone)]
+pub struct CriticalPath {
+    /// End-to-end path length, seconds.
+    pub len_s: f64,
+    /// Portion of the path spent waiting on message latency, seconds.
+    pub msg_wait_s: f64,
+    /// Entry executions on the path.
+    pub segments: usize,
+    /// Busy seconds and execution count on the path, per entry method
+    /// (largest first).
+    pub by_entry: Vec<(ArrayId, EntryKind, f64, u64)>,
+    /// Busy seconds on the path, per PE (largest first).
+    pub by_pe: Vec<(usize, f64)>,
+}
+
+// ---------------------------------------------------------------------------
+// The tracer.
+
+/// The tracing subsystem: bounded per-PE event logs, streaming sinks, and
+/// online summary aggregates. Owned by the [`Runtime`]; construct via
 /// [`RuntimeBuilder::tracing`](crate::RuntimeBuilder::tracing).
 pub struct Tracer {
     cfg: TraceConfig,
     num_pes: usize,
     rings: Vec<Ring>,
+    sinks: Vec<Box<dyn TraceSink>>,
+    sinks_begun: bool,
+    sinks_finished: bool,
+    names: NameTable,
+    /// Global arrival counter stamped onto every record.
+    seq: u64,
     profiles: HashMap<(ArrayId, EntryKind), EntryAgg>,
     util: UtilTimeline,
-    /// Flattened PE×PE byte volumes (`src * num_pes + dst`).
-    comm_bytes: Vec<u64>,
-    comm_msgs: Vec<u64>,
+    comm: CommMatrix,
+    /// Modeled end-to-end message latency (send → delivery), nanoseconds.
+    msg_latency: LogHist,
     busy_state: Vec<bool>,
-    /// Human-readable LB/FT/DVFS/malleability ledger.
+    /// Human-readable LB/FT/DVFS/malleability ledger (newest
+    /// `ledger_capacity` lines; compacted at 2× cap).
     ledger: Vec<(SimTime, String)>,
-    ledger_dropped: u64,
+    ledger_total: u64,
+    cp: Option<CpState>,
 }
 
 impl Tracer {
     pub(crate) fn new(cfg: TraceConfig, num_pes: usize) -> Self {
         let rings = (0..=num_pes).map(|_| Ring::new(cfg.log_capacity)).collect();
         Tracer {
-            util: UtilTimeline::new(cfg.util_bin, cfg.max_util_bins, num_pes),
+            util: UtilTimeline::new(cfg.util_bin, cfg.max_util_bins, num_pes, cfg.util_pe_cap),
+            comm: CommMatrix::new(num_pes, cfg.comm_fanout_cap),
+            cp: cfg.critical_path.then(|| CpState {
+                heads: vec![None; num_pes],
+                best: None,
+            }),
             cfg,
             num_pes,
             rings,
+            sinks: Vec::new(),
+            sinks_begun: false,
+            sinks_finished: false,
+            names: NameTable::default(),
+            seq: 0,
             profiles: HashMap::new(),
-            comm_bytes: vec![0; num_pes * num_pes],
-            comm_msgs: vec![0; num_pes * num_pes],
+            msg_latency: LogHist::new(),
             busy_state: vec![false; num_pes],
             ledger: Vec::new(),
-            ledger_dropped: 0,
+            ledger_total: 0,
         }
     }
 
@@ -509,28 +919,57 @@ impl Tracer {
     }
 
     /// Log records shed across all tracks (ring overflow, or everything
-    /// when `log_capacity == 0`). Summary aggregates never drop.
+    /// when `log_capacity == 0`). Summary aggregates and streaming sinks
+    /// never drop.
     pub fn dropped_events(&self) -> u64 {
         self.rings.iter().map(|r| r.dropped).sum()
     }
 
     /// PE×PE communication volume: `(bytes, messages)` routed `src → dst`.
+    /// `(0, 0)` for pairs beyond the per-source fanout cap.
     pub fn comm(&self, src: usize, dst: usize) -> (u64, u64) {
-        let i = src * self.num_pes + dst;
-        (self.comm_bytes[i], self.comm_msgs[i])
+        self.comm.get(src, dst)
+    }
+
+    /// Tracked remote comm pairs `(src, dst, bytes, msgs)`, hottest first.
+    pub fn comm_top(&self) -> Vec<(usize, usize, u64, u64)> {
+        self.comm.top()
+    }
+
+    /// Traffic shed beyond the per-source fanout cap: `(messages, bytes)`.
+    pub fn comm_shed(&self) -> (u64, u64) {
+        (self.comm.shed_msgs, self.comm.shed_bytes)
+    }
+
+    /// Comm pairs currently tracked by the sparse matrix.
+    pub fn comm_tracked_pairs(&self) -> usize {
+        self.comm.cells.len()
+    }
+
+    /// Modeled message-latency histogram (send → delivery, nanoseconds).
+    pub fn msg_latency(&self) -> &LogHist {
+        &self.msg_latency
     }
 
     /// Utilization timeline: bin width in seconds and, per PE, the busy
-    /// fraction of each bin.
+    /// fraction of each bin. Above [`TraceConfig::util_pe_cap`] PEs there
+    /// is a single machine-wide row (see [`Tracer::util_aggregated`]).
     pub fn util_timeline(&self) -> (f64, Vec<Vec<f64>>) {
         let bin_s = self.util.bin_ns as f64 / 1e9;
+        let denom = self.util.bin_ns as f64 * self.util.agg_over.max(1) as f64;
         let rows = self
             .util
             .per_pe
             .iter()
-            .map(|v| v.iter().map(|&ns| ns as f64 / self.util.bin_ns as f64).collect())
+            .map(|v| v.iter().map(|&ns| ns as f64 / denom).collect())
             .collect();
         (bin_s, rows)
+    }
+
+    /// `Some(num_pes)` when the utilization timeline is one machine-wide
+    /// aggregate row instead of per-PE rows.
+    pub fn util_aggregated(&self) -> Option<usize> {
+        (self.util.agg_over > 0).then_some(self.util.agg_over)
     }
 
     /// Total traced busy time summed over every entry-method profile —
@@ -539,9 +978,17 @@ impl Tracer {
         self.profiles.values().map(|a| a.total).sum()
     }
 
-    /// LB/FT/DVFS/malleability ledger lines (time, text), oldest first.
+    /// LB/FT/DVFS/malleability ledger lines (time, text), oldest first —
+    /// the newest [`TraceConfig::ledger_capacity`] survive.
     pub fn ledger(&self) -> &[(SimTime, String)] {
-        &self.ledger
+        let cap = self.cfg.ledger_capacity.max(1);
+        let n = self.ledger.len();
+        &self.ledger[n - n.min(cap)..]
+    }
+
+    /// Ledger lines shed beyond the retention cap.
+    pub fn ledger_shed(&self) -> u64 {
+        self.ledger_total - self.ledger().len() as u64
     }
 
     /// Per-track dropped-record counts (PE tracks then the RTS track) —
@@ -550,26 +997,129 @@ impl Tracer {
         self.rings.iter().map(|r| r.dropped).collect()
     }
 
+    /// Delivery counters for every installed streaming sink.
+    pub fn sink_stats(&self) -> Vec<SinkStats> {
+        self.sinks.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Flush and finalize all streaming sinks; returns their final stats.
+    /// Idempotent.
+    pub fn finish_sinks(&mut self) -> Vec<SinkStats> {
+        if !self.sinks_finished {
+            self.sinks_finished = true;
+            for s in &mut self.sinks {
+                s.finish(&self.names);
+            }
+        }
+        self.sink_stats()
+    }
+
+    /// The array-name table sinks format events with.
+    pub fn names(&self) -> &NameTable {
+        &self.names
+    }
+
+    pub(crate) fn add_sink(&mut self, sink: Box<dyn TraceSink>) {
+        // A sink added mid-stream would silently miss everything already
+        // pushed, so require a completely untouched tracer.
+        assert!(
+            !self.sinks_begun && self.seq == 0,
+            "trace sinks must be installed before the first traced event"
+        );
+        self.sinks.push(sink);
+    }
+
+    pub(crate) fn has_sinks(&self) -> bool {
+        !self.sinks.is_empty()
+    }
+
+    pub(crate) fn cp_enabled(&self) -> bool {
+        self.cp.is_some()
+    }
+
+    pub(crate) fn register_array(&mut self, id: ArrayId, name: &str) {
+        self.names.register(id, name);
+    }
+
+    /// The resolved critical path, when the analyzer was enabled and at
+    /// least one entry executed.
+    ///
+    /// The length never exceeds the makespan of a run that drains
+    /// naturally (and equals it on a serial chain). When
+    /// [`Ctx::exit`](crate::Ctx::exit) truncates a run, entries already
+    /// under way still complete in the trace but the virtual clock stops
+    /// at the exit event, so the path may overhang
+    /// [`RunSummary::end_time`](crate::RunSummary::end_time) by at most
+    /// one entry duration.
+    pub fn critical_path(&self) -> Option<CriticalPath> {
+        let best = self.cp.as_ref()?.best.as_ref()?;
+        let mut by_entry: std::collections::BTreeMap<(ArrayId, EntryKind), (u64, u64)> =
+            std::collections::BTreeMap::new();
+        let mut by_pe: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+        let mut segments = 0usize;
+        let mut wait_ns = 0u64;
+        let mut cur = Some(best);
+        while let Some(node) = cur {
+            segments += 1;
+            wait_ns += node.msg_wait_ns;
+            let e = by_entry.entry((node.array, node.entry)).or_insert((0, 0));
+            e.0 += node.dur_ns;
+            e.1 += 1;
+            *by_pe.entry(node.pe).or_insert(0) += node.dur_ns;
+            cur = node.parent.as_ref();
+        }
+        let mut by_entry: Vec<(ArrayId, EntryKind, f64, u64)> = by_entry
+            .into_iter()
+            .map(|((a, e), (ns, c))| (a, e, ns as f64 / 1e9, c))
+            .collect();
+        by_entry.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
+        });
+        let mut by_pe: Vec<(usize, f64)> = by_pe
+            .into_iter()
+            .map(|(pe, ns)| (pe as usize, ns as f64 / 1e9))
+            .collect();
+        by_pe.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        Some(CriticalPath {
+            len_s: best.end_ns as f64 / 1e9,
+            msg_wait_s: wait_ns as f64 / 1e9,
+            segments,
+            by_entry,
+            by_pe,
+        })
+    }
+
     /// Fold a shard tracer back in after a parallel run. The shard only
     /// recorded on the PE tracks it owned (`lo..hi`, plus possibly the RTS
     /// track on the coordinator shard), in dispatch order — so appending
     /// its records track-by-track reproduces exactly what the sequential
     /// engine would have pushed, including ring-overflow drop counts.
+    /// (External sinks and the critical-path analyzer force the sequential
+    /// engine, so shards never carry either.)
     pub(crate) fn absorb_shard(&mut self, shard: Tracer, lo: usize, hi: usize) {
         let Tracer {
             rings,
             profiles,
             util,
-            comm_bytes,
-            comm_msgs,
+            comm,
+            msg_latency,
             busy_state,
             ledger,
-            ledger_dropped,
+            ledger_total,
+            cfg: shard_cfg,
             ..
         } = shard;
         for (track, ring) in rings.into_iter().enumerate() {
             let (records, dropped) = ring.into_ordered();
-            for rec in records {
+            for mut rec in records {
+                rec.seq = self.seq;
+                self.seq += 1;
                 self.rings[track].push(rec);
             }
             self.rings[track].dropped += dropped;
@@ -581,31 +1131,74 @@ impl Tracer {
                 .merge(&agg);
         }
         self.util.absorb(util);
-        for (a, b) in self.comm_bytes.iter_mut().zip(comm_bytes) {
-            *a += b;
+        // Replay tracked cells through our capped add (each source PE's
+        // traffic lives on exactly one shard, in sequential order, so the
+        // kept-pair set matches a sequential run); shed counters carry over.
+        for c in comm.cells {
+            if let Some(&i) = self.comm.idx.get(&CommMatrix::key(c.src as usize, c.dst as usize)) {
+                let cell = &mut self.comm.cells[i as usize];
+                cell.bytes += c.bytes;
+                cell.msgs += c.msgs;
+            } else if self.comm.cap == 0 || (self.comm.deg[c.src as usize] as usize) < self.comm.cap
+            {
+                self.comm
+                    .idx
+                    .insert(CommMatrix::key(c.src as usize, c.dst as usize), self.comm.cells.len() as u32);
+                self.comm.deg[c.src as usize] += 1;
+                self.comm.cells.push(c);
+            } else {
+                self.comm.shed_msgs += c.msgs;
+                self.comm.shed_bytes += c.bytes;
+            }
         }
-        for (a, b) in self.comm_msgs.iter_mut().zip(comm_msgs) {
-            *a += b;
-        }
+        self.comm.shed_msgs += comm.shed_msgs;
+        self.comm.shed_bytes += comm.shed_bytes;
+        self.msg_latency.merge(&msg_latency);
         let hi = hi.min(self.busy_state.len());
         self.busy_state[lo..hi].copy_from_slice(&busy_state[lo..hi]);
-        for (t, line) in ledger {
+        // Only the shard's retained ledger lines replay; compacted-away
+        // lines carry over as a count.
+        let cap = shard_cfg.ledger_capacity.max(1);
+        let retained = ledger.len().min(cap);
+        let skip = ledger.len() - retained;
+        for (t, line) in ledger.into_iter().skip(skip) {
             self.ledger_line(t, line);
         }
-        self.ledger_dropped += ledger_dropped;
+        self.ledger_total += ledger_total - retained as u64;
     }
 
     // ----- recording hooks (crate-internal) --------------------------------
 
     fn push(&mut self, track: usize, t: SimTime, kind: TraceEventKind) {
-        self.rings[track].push(TraceRecord { t, track, kind });
+        let rec = TraceRecord {
+            t,
+            track,
+            seq: self.seq,
+            kind,
+        };
+        self.seq += 1;
+        if !self.sinks.is_empty() {
+            if !self.sinks_begun {
+                self.sinks_begun = true;
+                let n = self.rings.len();
+                for s in &mut self.sinks {
+                    s.begin(n, &self.names);
+                }
+            }
+            for s in &mut self.sinks {
+                s.record(&rec, &self.names);
+            }
+        }
+        self.rings[track].push(rec);
     }
 
     fn ledger_line(&mut self, t: SimTime, line: String) {
-        if self.ledger.len() < LEDGER_CAP {
-            self.ledger.push((t, line));
-        } else {
-            self.ledger_dropped += 1;
+        self.ledger_total += 1;
+        self.ledger.push((t, line));
+        let cap = self.cfg.ledger_capacity.max(1);
+        if self.ledger.len() >= 2 * cap {
+            let n = self.ledger.len() - cap;
+            self.ledger.drain(..n);
         }
     }
 
@@ -621,9 +1214,7 @@ impl Tracer {
 
     pub(crate) fn on_send(&mut self, t: SimTime, src_pe: usize, dst_pe: usize, dst: ObjId, bytes: usize) {
         if src_pe < self.num_pes && dst_pe < self.num_pes {
-            let i = src_pe * self.num_pes + dst_pe;
-            self.comm_bytes[i] += bytes as u64;
-            self.comm_msgs[i] += 1;
+            self.comm.add(src_pe, dst_pe, bytes as u64);
         }
         self.push(
             src_pe.min(self.num_pes),
@@ -634,6 +1225,57 @@ impl Tracer {
 
     pub(crate) fn on_recv(&mut self, t: SimTime, pe: usize, src_pe: usize, dst: ObjId, bytes: usize) {
         self.push(pe, t, TraceEventKind::MsgRecv { src_pe, dst, bytes });
+    }
+
+    /// Modeled end-to-end latency of one delivered message.
+    pub(crate) fn on_msg_latency(&mut self, lat: SimTime) {
+        self.msg_latency.add(lat.as_nanos());
+    }
+
+    /// An entry method is about to run: extend the dependency chain ending
+    /// here and return the new node (to stamp onto outgoing sends). The
+    /// binding dependency is whichever finished later — the triggering
+    /// message's chain (+ its latency) or the previous entry on this PE.
+    pub(crate) fn cp_on_exec(
+        &mut self,
+        pe: usize,
+        obj: ObjId,
+        entry: EntryKind,
+        now: SimTime,
+        dur: SimTime,
+        msg: Option<Box<CpMsg>>,
+    ) -> Option<Arc<CpNode>> {
+        let cp = self.cp.as_mut()?;
+        let (mut parent, mut msg_wait, mut start) = (None, 0u64, 0u64);
+        if let Some(m) = msg {
+            let wait = now.as_nanos().saturating_sub(m.sent_at.as_nanos());
+            start = m.cp_end + wait;
+            msg_wait = wait;
+            parent = m.from;
+        }
+        if let Some(head) = cp.heads.get(pe).and_then(|h| h.as_ref()) {
+            if head.end_ns > start {
+                start = head.end_ns;
+                msg_wait = 0;
+                parent = Some(head.clone());
+            }
+        }
+        let node = Arc::new(CpNode {
+            parent,
+            pe: pe as u32,
+            array: obj.array,
+            entry,
+            dur_ns: dur.as_nanos(),
+            msg_wait_ns: msg_wait,
+            end_ns: start + dur.as_nanos(),
+        });
+        if pe < cp.heads.len() {
+            cp.heads[pe] = Some(node.clone());
+        }
+        if cp.best.as_ref().is_none_or(|b| node.end_ns > b.end_ns) {
+            cp.best = Some(node.clone());
+        }
+        Some(node)
     }
 
     /// Record a busy/idle transition if the PE's state actually changed.
@@ -704,23 +1346,164 @@ impl Tracer {
 }
 
 // ---------------------------------------------------------------------------
-// Export & report (on Runtime, which can resolve array names).
+// Shared byte-exact formatters (in-memory exporters and streaming sinks
+// funnel through these, so their outputs agree byte-for-byte).
 
 /// Exact microseconds (`ns / 1000` with three fractional digits) — float
 /// formatting is bypassed so exports are byte-deterministic.
-fn us(t: SimTime) -> String {
+pub(crate) fn us(t: SimTime) -> String {
     let ns = t.as_nanos();
     format!("{}.{:03}", ns / 1000, ns % 1000)
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
+
+/// Chrome trace-event header: opening brace plus one `thread_name`
+/// metadata line per track.
+pub(crate) fn chrome_header(out: &mut String, num_tracks: usize, rts_track: usize) {
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for track in 0..num_tracks {
+        let name = if track == rts_track {
+            "RTS".to_string()
+        } else {
+            format!("PE {track}")
+        };
+        let _ = writeln!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{track},\"args\":{{\"name\":\"{name}\"}}}},"
+        );
+    }
+}
+
+/// One Chrome trace event (no separators). `entry_name` resolves
+/// `<array>::<entry>` labels.
+pub(crate) fn chrome_event(
+    out: &mut String,
+    rec: &TraceRecord,
+    entry_name: &dyn Fn(ArrayId, EntryKind) -> String,
+) {
+    let ts = us(rec.t);
+    let tid = rec.track;
+    match &rec.kind {
+        TraceEventKind::Entry { obj, entry, dur } => {
+            let name = json_escape(&entry_name(obj.array, *entry));
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"cat\":\"entry\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{},\"pid\":0,\"tid\":{tid},\"args\":{{\"ix\":\"{:?}\"}}}}",
+                us(*dur),
+                obj.ix
+            );
+        }
+        TraceEventKind::MsgSend { dst, dst_pe, bytes } => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"send\",\"cat\":\"msg\",\"ph\":\"i\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"s\":\"t\",\"args\":{{\"to_pe\":{dst_pe},\"bytes\":{bytes},\"dst\":\"{:?}\"}}}}",
+                dst.ix
+            );
+        }
+        TraceEventKind::MsgRecv { src_pe, dst, bytes } => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"recv\",\"cat\":\"msg\",\"ph\":\"i\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"s\":\"t\",\"args\":{{\"from_pe\":{src_pe},\"bytes\":{bytes},\"dst\":\"{:?}\"}}}}",
+                dst.ix
+            );
+        }
+        TraceEventKind::PeBusy | TraceEventKind::PeIdle => {
+            let v = if matches!(rec.kind, TraceEventKind::PeBusy) { 1 } else { 0 };
+            let _ = write!(
+                out,
+                "{{\"name\":\"busy\",\"cat\":\"pe\",\"ph\":\"C\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"args\":{{\"busy\":{v}}}}}"
+            );
+        }
+        other => {
+            let (name, args) = rts_name_args(other);
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"cat\":\"rts\",\"ph\":\"i\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"s\":\"g\",\"args\":{{{args}}}}}"
+            );
+        }
+    }
+}
+
+/// CSV header row (with trailing newline).
+pub(crate) const CSV_HEADER: &str = "t_ns,track,kind,name,dur_ns,bytes,a,b\n";
+
+/// One CSV row (no trailing newline).
+pub(crate) fn csv_row(rec: &TraceRecord, entry_name: &dyn Fn(ArrayId, EntryKind) -> String) -> String {
+    let t = rec.t.as_nanos();
+    let track = rec.track;
+    match &rec.kind {
+        TraceEventKind::Entry { obj, entry, dur } => format!(
+            "{t},{track},entry,{},{},0,0,0",
+            entry_name(obj.array, *entry),
+            dur.as_nanos()
+        ),
+        TraceEventKind::MsgSend { dst_pe, bytes, .. } => {
+            format!("{t},{track},send,,0,{bytes},{track},{dst_pe}")
+        }
+        TraceEventKind::MsgRecv { src_pe, bytes, .. } => {
+            format!("{t},{track},recv,,0,{bytes},{src_pe},{track}")
+        }
+        TraceEventKind::PeBusy => format!("{t},{track},busy,,0,0,0,0"),
+        TraceEventKind::PeIdle => format!("{t},{track},idle,,0,0,0,0"),
+        other => {
+            let (name, _) = rts_name_args(other);
+            match other {
+                TraceEventKind::LbEnd { migrations, cost, .. } => format!(
+                    "{t},{track},{name},,{},0,{migrations},0",
+                    cost.as_nanos()
+                ),
+                TraceEventKind::Migration { from_pe, to_pe, .. } => {
+                    format!("{t},{track},{name},,0,0,{from_pe},{to_pe}")
+                }
+                TraceEventKind::CkptBegin { chares, bytes } => {
+                    format!("{t},{track},{name},,0,{bytes},{chares},0")
+                }
+                TraceEventKind::NodeFail { first_pe, num_pes } => {
+                    format!("{t},{track},{name},,0,0,{first_pe},{num_pes}")
+                }
+                TraceEventKind::Reconfigure { from, to } => {
+                    format!("{t},{track},{name},,0,0,{from},{to}")
+                }
+                _ => format!("{t},{track},{name},,0,0,0,0"),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Export & report (on Runtime, which can resolve array names).
 
 impl Runtime {
     /// The tracer, when tracing was enabled at build time.
     pub fn tracer(&self) -> Option<&Tracer> {
         self.tracer.as_ref()
+    }
+
+    /// Install a streaming [`TraceSink`] after construction (tracing must
+    /// be enabled, and no record may have been streamed yet — install
+    /// sinks before the first `run*` call).
+    ///
+    /// # Panics
+    /// If tracing is off or the sinks already began streaming.
+    pub fn add_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        let tr = self
+            .tracer
+            .as_mut()
+            .expect("add_trace_sink requires tracing to be enabled");
+        tr.add_sink(sink);
+    }
+
+    /// Flush and finalize every streaming sink (writing the Chrome-JSON
+    /// tail, flushing buffers) and return their delivery stats. Idempotent;
+    /// call after the last `run*` so streamed files are well-formed.
+    pub fn finish_trace(&mut self) -> Vec<SinkStats> {
+        match &mut self.tracer {
+            Some(tr) => tr.finish_sinks(),
+            None => Vec::new(),
+        }
     }
 
     fn entry_name(&self, array: ArrayId, entry: EntryKind) -> String {
@@ -752,6 +1535,9 @@ impl Runtime {
                     total_s: a.total.as_secs_f64(),
                     min_s: a.min.min(a.max).as_secs_f64(),
                     max_s: a.max.as_secs_f64(),
+                    p50_s: a.qhist.quantile(0.5) as f64 / 1e9,
+                    p99_s: a.qhist.quantile(0.99) as f64 / 1e9,
+                    p999_s: a.qhist.quantile(0.999) as f64 / 1e9,
                     hist: a
                         .hist
                         .iter()
@@ -772,22 +1558,13 @@ impl Runtime {
     }
 
     /// Export the retained event log as Chrome trace-event JSON (open in
-    /// Perfetto / `chrome://tracing`; one track per PE plus an RTS track).
-    /// `None` when tracing is off.
+    /// Perfetto / `chrome://tracing`; one track per PE plus an RTS track),
+    /// grouped track-by-track. `None` when tracing is off.
     pub fn trace_chrome_json(&self) -> Option<String> {
         let tr = self.tracer.as_ref()?;
-        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
-        for track in 0..tr.num_tracks() {
-            let name = if track == tr.rts_track() {
-                "RTS".to_string()
-            } else {
-                format!("PE {track}")
-            };
-            let _ = writeln!(
-                out,
-                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{track},\"args\":{{\"name\":\"{name}\"}}}},"
-            );
-        }
+        let mut out = String::new();
+        chrome_header(&mut out, tr.num_tracks(), tr.rts_track());
+        let name_of = |a, e| self.entry_name(a, e);
         let mut first = true;
         for track in 0..tr.num_tracks() {
             for rec in tr.track(track) {
@@ -795,112 +1572,73 @@ impl Runtime {
                     out.push_str(",\n");
                 }
                 first = false;
-                self.write_chrome_event(&mut out, rec);
+                chrome_event(&mut out, rec, &name_of);
             }
         }
         out.push_str("\n]}\n");
         Some(out)
     }
 
-    fn write_chrome_event(&self, out: &mut String, rec: &TraceRecord) {
-        let ts = us(rec.t);
-        let tid = rec.track;
-        match &rec.kind {
-            TraceEventKind::Entry { obj, entry, dur } => {
-                let name = json_escape(&self.entry_name(obj.array, *entry));
-                let _ = write!(
-                    out,
-                    "{{\"name\":\"{name}\",\"cat\":\"entry\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{},\"pid\":0,\"tid\":{tid},\"args\":{{\"ix\":\"{:?}\"}}}}",
-                    us(*dur),
-                    obj.ix
-                );
+    /// Export the retained event log as Chrome trace-event JSON in
+    /// *arrival order* — byte-identical to what a [`ChromeStreamSink`]
+    /// wrote, provided the rings retained every record. `None` when
+    /// tracing is off.
+    pub fn trace_chrome_json_arrival(&self) -> Option<String> {
+        let tr = self.tracer.as_ref()?;
+        let mut out = String::new();
+        chrome_header(&mut out, tr.num_tracks(), tr.rts_track());
+        let name_of = |a, e| self.entry_name(a, e);
+        for (i, rec) in self.arrival_records(tr).into_iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
             }
-            TraceEventKind::MsgSend { dst, dst_pe, bytes } => {
-                let _ = write!(
-                    out,
-                    "{{\"name\":\"send\",\"cat\":\"msg\",\"ph\":\"i\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"s\":\"t\",\"args\":{{\"to_pe\":{dst_pe},\"bytes\":{bytes},\"dst\":\"{:?}\"}}}}",
-                    dst.ix
-                );
-            }
-            TraceEventKind::MsgRecv { src_pe, dst, bytes } => {
-                let _ = write!(
-                    out,
-                    "{{\"name\":\"recv\",\"cat\":\"msg\",\"ph\":\"i\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"s\":\"t\",\"args\":{{\"from_pe\":{src_pe},\"bytes\":{bytes},\"dst\":\"{:?}\"}}}}",
-                    dst.ix
-                );
-            }
-            TraceEventKind::PeBusy | TraceEventKind::PeIdle => {
-                let v = if matches!(rec.kind, TraceEventKind::PeBusy) { 1 } else { 0 };
-                let _ = write!(
-                    out,
-                    "{{\"name\":\"busy\",\"cat\":\"pe\",\"ph\":\"C\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"args\":{{\"busy\":{v}}}}}"
-                );
-            }
-            other => {
-                let (name, args) = rts_name_args(other);
-                let _ = write!(
-                    out,
-                    "{{\"name\":\"{name}\",\"cat\":\"rts\",\"ph\":\"i\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"s\":\"g\",\"args\":{{{args}}}}}"
-                );
-            }
+            chrome_event(&mut out, rec, &name_of);
         }
+        out.push_str("\n]}\n");
+        Some(out)
+    }
+
+    /// Retained records across all rings, sorted back into arrival order.
+    fn arrival_records<'a>(&self, tr: &'a Tracer) -> Vec<&'a TraceRecord> {
+        let mut recs: Vec<&TraceRecord> = (0..tr.num_tracks()).flat_map(|t| tr.track(t)).collect();
+        recs.sort_by_key(|r| r.seq);
+        recs
     }
 
     /// Export the retained event log as CSV
-    /// (`t_ns,track,kind,name,dur_ns,bytes,a,b`). `None` when tracing is off.
+    /// (`t_ns,track,kind,name,dur_ns,bytes,a,b`), grouped track-by-track.
+    /// `None` when tracing is off.
     pub fn trace_csv(&self) -> Option<String> {
         let tr = self.tracer.as_ref()?;
-        let mut out = String::from("t_ns,track,kind,name,dur_ns,bytes,a,b\n");
+        let mut out = String::from(CSV_HEADER);
+        let name_of = |a, e| self.entry_name(a, e);
         for track in 0..tr.num_tracks() {
             for rec in tr.track(track) {
-                let t = rec.t.as_nanos();
-                let row = match &rec.kind {
-                    TraceEventKind::Entry { obj, entry, dur } => format!(
-                        "{t},{track},entry,{},{},0,0,0",
-                        self.entry_name(obj.array, *entry),
-                        dur.as_nanos()
-                    ),
-                    TraceEventKind::MsgSend { dst_pe, bytes, .. } => {
-                        format!("{t},{track},send,,0,{bytes},{track},{dst_pe}")
-                    }
-                    TraceEventKind::MsgRecv { src_pe, bytes, .. } => {
-                        format!("{t},{track},recv,,0,{bytes},{src_pe},{track}")
-                    }
-                    TraceEventKind::PeBusy => format!("{t},{track},busy,,0,0,0,0"),
-                    TraceEventKind::PeIdle => format!("{t},{track},idle,,0,0,0,0"),
-                    other => {
-                        let (name, _) = rts_name_args(other);
-                        match other {
-                            TraceEventKind::LbEnd { migrations, cost, .. } => format!(
-                                "{t},{track},{name},,{},0,{migrations},0",
-                                cost.as_nanos()
-                            ),
-                            TraceEventKind::Migration { from_pe, to_pe, .. } => {
-                                format!("{t},{track},{name},,0,0,{from_pe},{to_pe}")
-                            }
-                            TraceEventKind::CkptBegin { chares, bytes } => {
-                                format!("{t},{track},{name},,0,{bytes},{chares},0")
-                            }
-                            TraceEventKind::NodeFail { first_pe, num_pes } => {
-                                format!("{t},{track},{name},,0,0,{first_pe},{num_pes}")
-                            }
-                            TraceEventKind::Reconfigure { from, to } => {
-                                format!("{t},{track},{name},,0,0,{from},{to}")
-                            }
-                            _ => format!("{t},{track},{name},,0,0,0,0"),
-                        }
-                    }
-                };
-                out.push_str(&row);
+                out.push_str(&csv_row(rec, &name_of));
                 out.push('\n');
             }
         }
         Some(out)
     }
 
+    /// CSV export in *arrival order* — byte-identical to a
+    /// [`CsvStreamSink`]'s file when nothing was dropped from the rings.
+    pub fn trace_csv_arrival(&self) -> Option<String> {
+        let tr = self.tracer.as_ref()?;
+        let mut out = String::from(CSV_HEADER);
+        let name_of = |a, e| self.entry_name(a, e);
+        for rec in self.arrival_records(tr) {
+            out.push_str(&csv_row(rec, &name_of));
+            out.push('\n');
+        }
+        Some(out)
+    }
+
     /// Render the projections-lite text report: top-`top_k` entry methods
-    /// by total busy time, the per-PE utilization profile, communication
-    /// hotspots, network-model totals, and the LB/FT event ledger. `None`
+    /// by total busy time (with p50/p99/p999 grainsize), the per-PE
+    /// utilization profile, communication hotspots, message-latency
+    /// percentiles, the critical path (when enabled), network-model
+    /// totals, the LB/FT event ledger, and the trace/sink footer. `None`
     /// when tracing is off.
     pub fn projections_report(&self, top_k: usize) -> Option<String> {
         let tr = self.tracer.as_ref()?;
@@ -919,20 +1657,23 @@ impl Runtime {
         let _ = writeln!(out, "-- top entry methods by total busy time");
         let _ = writeln!(
             out,
-            "  {:<36} {:>8} {:>12} {:>10} {:>10} {:>10} {:>6}",
-            "entry", "count", "total", "avg", "min", "max", "%busy"
+            "  {:<36} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6}",
+            "entry", "count", "total", "avg", "min", "max", "p50", "p99", "p999", "%busy"
         );
         for p in profiles.iter().take(top_k) {
             let pct = if total_busy > 0.0 { 100.0 * p.total_s / total_busy } else { 0.0 };
             let _ = writeln!(
                 out,
-                "  {:<36} {:>8} {:>12} {:>10} {:>10} {:>10} {:>5.1}%",
+                "  {:<36} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>5.1}%",
                 p.name,
                 p.count,
                 fmt_secs(p.total_s),
                 fmt_secs(p.avg_s()),
                 fmt_secs(p.min_s),
                 fmt_secs(p.max_s),
+                fmt_secs(p.p50_s),
+                fmt_secs(p.p99_s),
+                fmt_secs(p.p999_s),
                 pct
             );
         }
@@ -953,23 +1694,38 @@ impl Runtime {
                     char::from_digit((u * 9.0).round() as u32, 10).unwrap_or('9')
                 })
                 .collect();
-            let _ = writeln!(out, "  pe {pe:>3} {:>5.1}% |{spark}|", mean * 100.0);
-        }
-
-        let mut pairs: Vec<(usize, usize, u64, u64)> = Vec::new();
-        for src in 0..tr.num_pes {
-            for dst in 0..tr.num_pes {
-                let (b, m) = tr.comm(src, dst);
-                if b > 0 && src != dst {
-                    pairs.push((src, dst, b, m));
+            match tr.util_aggregated() {
+                Some(n) => {
+                    let _ = writeln!(out, "  mean of {n} PEs {:>5.1}% |{spark}|", mean * 100.0);
+                }
+                None => {
+                    let _ = writeln!(out, "  pe {pe:>3} {:>5.1}% |{spark}|", mean * 100.0);
                 }
             }
         }
-        pairs.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| (a.0, a.1).cmp(&(b.0, b.1))));
+
+        let pairs = tr.comm_top();
         let _ = writeln!(out, "-- comm hotspots (PE -> PE, remote only)");
         for (src, dst, b, m) in pairs.iter().take(top_k) {
             let _ = writeln!(out, "  pe {src:>3} -> pe {dst:>3}  {b:>12} B  {m:>8} msg(s)");
         }
+        let (shed_msgs, shed_bytes) = tr.comm_shed();
+        if shed_msgs > 0 {
+            let _ = writeln!(
+                out,
+                "  ... {shed_msgs} msg(s) / {shed_bytes} B shed beyond fanout cap {}",
+                tr.config().comm_fanout_cap
+            );
+        }
+        let lat = tr.msg_latency();
+        let _ = writeln!(
+            out,
+            "-- msg latency (modeled): p50 {} p99 {} p999 {} over {} msg(s)",
+            fmt_secs(lat.quantile(0.5) as f64 / 1e9),
+            fmt_secs(lat.quantile(0.99) as f64 / 1e9),
+            fmt_secs(lat.quantile(0.999) as f64 / 1e9),
+            lat.count()
+        );
         let c = self.net.counters();
         let _ = writeln!(
             out,
@@ -977,12 +1733,53 @@ impl Runtime {
             c.remote_msgs, c.remote_bytes, c.local_msgs
         );
 
-        let _ = writeln!(out, "-- LB/FT event ledger ({} entries)", tr.ledger.len());
+        if let Some(cp) = tr.critical_path() {
+            let makespan = self.now().as_secs_f64();
+            let pct = if makespan > 0.0 { 100.0 * cp.len_s / makespan } else { 0.0 };
+            let _ = writeln!(
+                out,
+                "-- critical path: {} ({pct:.1}% of makespan), {} segment(s), {} msg wait",
+                fmt_secs(cp.len_s),
+                cp.segments,
+                fmt_secs(cp.msg_wait_s)
+            );
+            for (array, entry, secs, count) in cp.by_entry.iter().take(top_k) {
+                let _ = writeln!(
+                    out,
+                    "  {:<36} {:>10} {:>8} exec(s) on path",
+                    self.entry_name(*array, *entry),
+                    fmt_secs(*secs),
+                    count
+                );
+            }
+            for (pe, secs) in cp.by_pe.iter().take(top_k) {
+                let _ = writeln!(out, "  pe {pe:>3} {:>10} busy on path", fmt_secs(*secs));
+            }
+        }
+
+        let _ = writeln!(out, "-- LB/FT event ledger ({} entries)", tr.ledger().len());
         for (t, line) in tr.ledger() {
             let _ = writeln!(out, "  {:>12.6}s  {line}", t.as_secs_f64());
         }
-        if tr.ledger_dropped > 0 {
-            let _ = writeln!(out, "  ... {} ledger entries dropped", tr.ledger_dropped);
+        if tr.ledger_shed() > 0 {
+            let _ = writeln!(out, "  ... {} older ledger entries shed", tr.ledger_shed());
+        }
+
+        // Trace-loss footer: ring drops and per-sink delivery stats, so a
+        // truncated log is never mistaken for a complete one.
+        let _ = writeln!(
+            out,
+            "-- trace: {} record(s) seen, {} dropped from rings, {} sink(s)",
+            tr.seq,
+            tr.dropped_events(),
+            tr.sinks.len()
+        );
+        for s in tr.sink_stats() {
+            let _ = writeln!(
+                out,
+                "  sink {}: {} record(s), {} B written, {} write error(s)",
+                s.name, s.records, s.bytes_written, s.dropped
+            );
         }
 
         // Engine-throughput footer: real time spent simulating and the
@@ -1078,6 +1875,7 @@ mod tests {
             r.push(TraceRecord {
                 t: SimTime(i),
                 track: 0,
+                seq: i,
                 kind: TraceEventKind::PeBusy,
             });
         }
@@ -1094,6 +1892,7 @@ mod tests {
             r.push(TraceRecord {
                 t: SimTime(i),
                 track: 0,
+                seq: i,
                 kind: TraceEventKind::PeIdle,
             });
         }
@@ -1103,7 +1902,7 @@ mod tests {
 
     #[test]
     fn util_timeline_folds_to_stay_bounded() {
-        let mut u = UtilTimeline::new(SimTime::from_nanos(10), 4, 1);
+        let mut u = UtilTimeline::new(SimTime::from_nanos(10), 4, 1, 4096);
         // Fill [0, 200) ns busy: needs 20 ten-ns bins, budget is 4 → folds.
         u.add(0, SimTime(0), SimTime(200));
         assert!(u.per_pe[0].len() <= 4, "bins={}", u.per_pe[0].len());
@@ -1113,10 +1912,22 @@ mod tests {
 
     #[test]
     fn util_timeline_splits_across_bins() {
-        let mut u = UtilTimeline::new(SimTime::from_nanos(100), 64, 2);
+        let mut u = UtilTimeline::new(SimTime::from_nanos(100), 64, 2, 4096);
         u.add(1, SimTime(50), SimTime(250));
         assert_eq!(u.per_pe[1], vec![50, 100, 50]);
         assert!(u.per_pe[0].is_empty());
+    }
+
+    #[test]
+    fn util_timeline_aggregates_above_pe_cap() {
+        // 8 PEs with a cap of 4 → one machine-wide row.
+        let mut u = UtilTimeline::new(SimTime::from_nanos(100), 64, 8, 4);
+        assert_eq!(u.per_pe.len(), 1);
+        assert_eq!(u.agg_over, 8);
+        u.add(3, SimTime(0), SimTime(100));
+        u.add(7, SimTime(0), SimTime(100));
+        // Both PEs' busy ns land in the single aggregate row.
+        assert_eq!(u.per_pe[0], vec![200]);
     }
 
     #[test]
@@ -1130,6 +1941,135 @@ mod tests {
         assert_eq!(a.min, SimTime(1));
         assert_eq!(a.max, SimTime(1000));
         assert_eq!(a.hist.iter().sum::<u64>(), 3);
+        assert_eq!(a.qhist.count(), 3);
+        assert_eq!(a.qhist.quantile(0.5), LogHist::bucket_lo(LogHist::bucket_of(100)));
+    }
+
+    #[test]
+    fn loghist_buckets_roundtrip_and_bound_error() {
+        for v in [0u64, 1, 7, 8, 9, 100, 1023, 1024, 1 << 20, u64::MAX / 2] {
+            let b = LogHist::bucket_of(v);
+            let lo = LogHist::bucket_lo(b);
+            assert_eq!(LogHist::bucket_of(lo), b, "bucket_lo lands in its own bucket (v={v})");
+            assert!(lo <= v, "lower bound holds (v={v})");
+            if v >= 8 {
+                // Next bucket's lower bound is ≤ v·9/8 → relative error ≤ 1/8.
+                let hi = LogHist::bucket_lo(b + 1);
+                assert!(hi > v, "v={v} below next bucket");
+                assert!(hi - lo <= lo / 8 + 1, "sub-bucket width bounded (v={v})");
+            }
+        }
+    }
+
+    #[test]
+    fn loghist_quantiles_track_exact_order_statistics() {
+        let mut h = LogHist::new();
+        let mut samples: Vec<u64> = Vec::new();
+        // Deterministic skewed stream: mostly small, a heavy tail.
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let v = if x % 100 < 90 { x % 5_000 } else { x % 5_000_000 };
+            h.add(v);
+            samples.push(v);
+        }
+        samples.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let est = h.quantile(q);
+            assert_eq!(
+                LogHist::bucket_of(est),
+                LogHist::bucket_of(exact),
+                "q={q}: estimate {est} shares the exact sample's bucket ({exact})"
+            );
+        }
+    }
+
+    #[test]
+    fn comm_matrix_caps_fanout_and_sheds() {
+        let mut m = CommMatrix::new(8, 2);
+        m.add(0, 1, 100);
+        m.add(0, 2, 50);
+        m.add(0, 3, 999); // beyond cap → shed
+        m.add(0, 1, 25); // existing pair still accumulates
+        m.add(1, 3, 10); // different source has its own budget
+        assert_eq!(m.get(0, 1), (125, 2));
+        assert_eq!(m.get(0, 3), (0, 0));
+        assert_eq!(m.get(1, 3), (10, 1));
+        assert_eq!((m.shed_msgs, m.shed_bytes), (1, 999));
+        let top = m.top();
+        assert_eq!(top[0], (0, 1, 125, 2));
+    }
+
+    #[test]
+    fn ledger_compaction_keeps_newest_and_counts_shed() {
+        let mut tr = Tracer::new(
+            TraceConfig {
+                ledger_capacity: 4,
+                ..TraceConfig::default()
+            },
+            1,
+        );
+        for i in 0..20u64 {
+            tr.ledger_line(SimTime(i), format!("line {i}"));
+        }
+        let kept = tr.ledger();
+        assert_eq!(kept.len(), 4);
+        assert_eq!(kept[0].1, "line 16");
+        assert_eq!(kept[3].1, "line 19");
+        assert_eq!(tr.ledger_shed(), 16);
+        assert!(tr.ledger.len() < 8, "buffer stays within 2x cap");
+    }
+
+    #[test]
+    fn critical_path_tracks_a_serial_chain() {
+        use crate::index::Ix;
+        let mut tr = Tracer::new(TraceConfig::default().with_critical_path(), 4);
+        let obj = |pe: u32| ObjId {
+            array: ArrayId(0),
+            ix: Ix::i1(pe as i64),
+        };
+        // A 3-hop serial chain across PEs: each exec starts when the prior
+        // one's message lands.
+        let mut msg: Option<Box<CpMsg>> = None;
+        let mut t = SimTime(0);
+        for hop in 0..3u32 {
+            let pe = hop as usize;
+            let dur = SimTime(100);
+            let node = tr.cp_on_exec(pe, obj(hop), EntryKind::Message, t, dur, msg).unwrap();
+            let send_at = t + dur;
+            msg = Some(Box::new(CpMsg {
+                cp_end: node.end_ns,
+                from: Some(node),
+                sent_at: send_at,
+            }));
+            t = send_at + SimTime(50); // 50 ns wire latency per hop
+        }
+        let cp = tr.critical_path().unwrap();
+        // 3 execs of 100 ns + 2 hops of 50 ns latency = 400 ns.
+        assert_eq!(cp.segments, 3);
+        assert!((cp.len_s - 400e-9).abs() < 1e-15, "len {}", cp.len_s);
+        assert!((cp.msg_wait_s - 100e-9).abs() < 1e-15);
+        assert_eq!(cp.by_pe.len(), 3);
+    }
+
+    #[test]
+    fn critical_path_long_chain_drop_does_not_overflow() {
+        use crate::index::Ix;
+        let mut tr = Tracer::new(TraceConfig::default().with_critical_path(), 1);
+        let obj = ObjId {
+            array: ArrayId(0),
+            ix: Ix::i1(0),
+        };
+        for i in 0..200_000u64 {
+            tr.cp_on_exec(0, obj, EntryKind::Message, SimTime(i * 10), SimTime(5), None);
+        }
+        let cp = tr.critical_path().unwrap();
+        assert_eq!(cp.segments, 200_000);
+        drop(tr); // iterative Drop must not blow the stack
     }
 
     #[test]

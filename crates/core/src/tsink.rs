@@ -1,0 +1,221 @@
+//! Streaming file sinks for the tracer: incremental Chrome-trace JSON and
+//! CSV writers implementing [`TraceSink`].
+//!
+//! Both funnel every record through the same formatters as the in-memory
+//! exporters, so a streamed file is byte-identical to
+//! [`Runtime::trace_chrome_json_arrival`](crate::Runtime::trace_chrome_json_arrival)
+//! / [`trace_csv_arrival`](crate::Runtime::trace_csv_arrival) whenever the
+//! rings retained every record (property-tested in `tests/trace_stream.rs`)
+//! — but unlike the rings they hold O(1) memory no matter how many events
+//! the run produces, which is what lets full event logs survive 128 K–1 M
+//! simulated PEs (`scale_bench`).
+//!
+//! Write errors never abort the simulation: they are counted in
+//! [`SinkStats::dropped`] and surfaced in the report footer.
+
+use crate::trace::{chrome_event, chrome_header, csv_row, NameTable, SinkStats, TraceRecord, TraceSink, CSV_HEADER};
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+
+/// Shared plumbing: buffered file, delivery counters, error latch.
+struct FileSink {
+    out: Option<BufWriter<File>>,
+    records: u64,
+    dropped: u64,
+    bytes_written: u64,
+    finished: bool,
+}
+
+impl FileSink {
+    fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(FileSink {
+            out: Some(BufWriter::new(File::create(path)?)),
+            records: 0,
+            dropped: 0,
+            bytes_written: 0,
+            finished: false,
+        })
+    }
+
+    /// Write a chunk; on error latch the failure into `dropped`.
+    fn write(&mut self, chunk: &str) -> bool {
+        let Some(w) = self.out.as_mut() else {
+            return false;
+        };
+        match w.write_all(chunk.as_bytes()) {
+            Ok(()) => {
+                self.bytes_written += chunk.len() as u64;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn record(&mut self, chunk: &str) {
+        self.records += 1;
+        if !self.write(chunk) {
+            self.dropped += 1;
+        }
+    }
+
+    fn finish(&mut self, tail: &str) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        if !self.write(tail) {
+            self.dropped += 1;
+        }
+        if let Some(mut w) = self.out.take() {
+            let _ = w.flush();
+        }
+    }
+
+    fn stats(&self, name: &'static str) -> SinkStats {
+        SinkStats {
+            name: name.to_string(),
+            records: self.records,
+            dropped: self.dropped,
+            bytes_written: self.bytes_written,
+        }
+    }
+}
+
+/// Streams the event log to a Chrome trace-event JSON file as records
+/// arrive (Perfetto / `chrome://tracing` loadable). Install via
+/// [`RuntimeBuilder::trace_sink`](crate::RuntimeBuilder::trace_sink);
+/// finalize with [`Runtime::finish_trace`](crate::Runtime::finish_trace)
+/// (dropping the runtime also closes the file, via `TraceSink::finish`
+/// never having run — the JSON tail is then missing, so always finish).
+pub struct ChromeStreamSink {
+    file: FileSink,
+    first: bool,
+    scratch: String,
+}
+
+impl ChromeStreamSink {
+    /// Create/truncate the output file.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(ChromeStreamSink {
+            file: FileSink::create(path.as_ref())?,
+            first: true,
+            scratch: String::new(),
+        })
+    }
+}
+
+impl TraceSink for ChromeStreamSink {
+    fn name(&self) -> &'static str {
+        "chrome_stream"
+    }
+
+    fn begin(&mut self, num_tracks: usize, _names: &NameTable) {
+        self.scratch.clear();
+        chrome_header(&mut self.scratch, num_tracks, num_tracks.saturating_sub(1));
+        let header = std::mem::take(&mut self.scratch);
+        if !self.file.write(&header) {
+            self.file.dropped += 1;
+        }
+        self.scratch = header; // keep the allocation
+    }
+
+    fn record(&mut self, rec: &TraceRecord, names: &NameTable) {
+        self.scratch.clear();
+        if !self.first {
+            self.scratch.push_str(",\n");
+        }
+        self.first = false;
+        chrome_event(&mut self.scratch, rec, &|a, e| names.entry_name(a, e));
+        let line = std::mem::take(&mut self.scratch);
+        self.file.record(&line);
+        self.scratch = line;
+    }
+
+    fn finish(&mut self, _names: &NameTable) {
+        self.file.finish("\n]}\n");
+    }
+
+    fn stats(&self) -> SinkStats {
+        self.file.stats("chrome_stream")
+    }
+}
+
+/// Streams the event log to a CSV file
+/// (`t_ns,track,kind,name,dur_ns,bytes,a,b`) as records arrive.
+pub struct CsvStreamSink {
+    file: FileSink,
+    scratch: String,
+}
+
+impl CsvStreamSink {
+    /// Create/truncate the output file.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(CsvStreamSink {
+            file: FileSink::create(path.as_ref())?,
+            scratch: String::new(),
+        })
+    }
+}
+
+impl TraceSink for CsvStreamSink {
+    fn name(&self) -> &'static str {
+        "csv_stream"
+    }
+
+    fn begin(&mut self, _num_tracks: usize, _names: &NameTable) {
+        if !self.file.write(CSV_HEADER) {
+            self.file.dropped += 1;
+        }
+    }
+
+    fn record(&mut self, rec: &TraceRecord, names: &NameTable) {
+        self.scratch.clear();
+        self.scratch.push_str(&csv_row(rec, &|a, e| names.entry_name(a, e)));
+        self.scratch.push('\n');
+        let line = std::mem::take(&mut self.scratch);
+        self.file.record(&line);
+        self.scratch = line;
+    }
+
+    fn finish(&mut self, _names: &NameTable) {
+        self.file.finish("");
+    }
+
+    fn stats(&self) -> SinkStats {
+        self.file.stats("csv_stream")
+    }
+}
+
+/// In-memory sink that counts records and discards them — the
+/// null-overhead arm for sink-cost measurements and tests.
+#[derive(Default)]
+pub struct CountingSink {
+    records: u64,
+}
+
+impl CountingSink {
+    /// A fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn name(&self) -> &'static str {
+        "counting"
+    }
+
+    fn record(&mut self, _rec: &TraceRecord, _names: &NameTable) {
+        self.records += 1;
+    }
+
+    fn stats(&self) -> SinkStats {
+        SinkStats {
+            name: "counting".to_string(),
+            records: self.records,
+            dropped: 0,
+            bytes_written: 0,
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Streaming-observability guarantees (ISSUE 7):
+//!
+//! * **Streamed == in-memory** — the Chrome-JSON / CSV files a streaming
+//!   sink writes are byte-identical to the in-memory arrival-order
+//!   exporters whenever the rings retained every record.
+//! * **Quantile accuracy** — online log-bucketed histograms place every
+//!   quantile estimate in the same bucket as the exact order statistic
+//!   (property-tested over arbitrary sample sets).
+//! * **Visible loss** — `RunSummary` carries ring-drop counts and per-sink
+//!   delivery stats; the report footer prints them.
+//! * **Critical path** — the analyzer's path length equals the makespan
+//!   exactly on a serial-chain micro-app and never exceeds it elsewhere.
+//! * **Engine gating** — sinks and the analyzer force the sequential
+//!   engine (their results must not depend on thread count).
+
+use charm_core::{
+    ArrayProxy, Chare, ChromeStreamSink, CsvStreamSink, CountingSink, Ctx, Ix, LogHist,
+    MachineConfig, Runtime, SysEvent, TraceConfig,
+};
+use charm_pup::{Pup, Puper};
+use proptest::prelude::*;
+
+/// A chare ring with enough fan-out to exercise every trace record kind.
+#[derive(Default)]
+struct Hopper {
+    hops: u64,
+    limit: u64,
+    n: i64,
+    arr: ArrayProxy<Hopper>,
+}
+
+impl Pup for Hopper {
+    fn pup(&mut self, p: &mut Puper) {
+        charm_pup::pup_all!(p; self.hops, self.limit, self.n, self.arr);
+    }
+}
+
+impl Chare for Hopper {
+    type Msg = i64;
+    fn on_message(&mut self, me: i64, ctx: &mut Ctx<'_>) {
+        self.hops += 1;
+        ctx.work(5_000.0 * (1.0 + (me % 3) as f64));
+        if self.hops >= self.limit {
+            return;
+        }
+        ctx.send(self.arr, Ix::i1((me + 1) % self.n), me);
+    }
+    fn on_event(&mut self, _ev: SysEvent, _ctx: &mut Ctx<'_>) {}
+}
+
+/// A strict pipeline: element i runs once, then messages element i+1.
+/// Exactly one message is ever in flight, so *every* execution and every
+/// message latency lies on the critical path.
+#[derive(Default)]
+struct Chain {
+    n: i64,
+    arr: ArrayProxy<Chain>,
+}
+
+impl Pup for Chain {
+    fn pup(&mut self, p: &mut Puper) {
+        charm_pup::pup_all!(p; self.n, self.arr);
+    }
+}
+
+impl Chare for Chain {
+    type Msg = i64;
+    fn on_message(&mut self, me: i64, ctx: &mut Ctx<'_>) {
+        ctx.work(20_000.0 * (1.0 + (me % 5) as f64));
+        if me + 1 < self.n {
+            ctx.send(self.arr, Ix::i1(me + 1), me + 1);
+        }
+    }
+    fn on_event(&mut self, _ev: SysEvent, _ctx: &mut Ctx<'_>) {}
+}
+
+fn hopper_runtime(
+    seed: u64,
+    cfg: TraceConfig,
+    threads: usize,
+    sinks: Vec<Box<dyn charm_core::TraceSink>>,
+) -> Runtime {
+    let mut b = Runtime::builder(MachineConfig::homogeneous(4))
+        .seed(seed)
+        .tracing(cfg);
+    if threads > 1 {
+        b = b.threads(threads);
+    }
+    let mut rt = b.build();
+    for s in sinks {
+        rt.add_trace_sink(s);
+    }
+    let arr = rt.create_array::<Hopper>("hopper");
+    let n = 6i64;
+    for i in 0..n {
+        rt.insert(arr, Ix::i1(i), Hopper { hops: 0, limit: 40, n, arr }, Some(i as usize % 4));
+    }
+    for i in 0..n {
+        rt.send(arr, Ix::i1(i), i);
+    }
+    rt
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("charm_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn streamed_files_byte_equal_in_memory_arrival_exporters() {
+    for seed in [7u64, 11, 42] {
+        let jpath = tmp(&format!("{seed}.trace.json"));
+        let cpath = tmp(&format!("{seed}.trace.csv"));
+        // Rings big enough to retain everything, so the in-memory
+        // arrival-order exporters see the full stream too.
+        let mut rt = hopper_runtime(
+            seed,
+            TraceConfig {
+                log_capacity: 1 << 20,
+                ..TraceConfig::default()
+            },
+            1,
+            vec![
+                Box::new(ChromeStreamSink::create(&jpath).unwrap()),
+                Box::new(CsvStreamSink::create(&cpath).unwrap()),
+            ],
+        );
+        rt.run();
+        let stats = rt.finish_trace();
+        assert_eq!(stats.len(), 2);
+        assert!(stats.iter().all(|s| s.dropped == 0 && s.records > 0));
+
+        let tr = rt.tracer().unwrap();
+        assert_eq!(tr.dropped_events(), 0, "rings must have retained all");
+        let streamed_json = std::fs::read_to_string(&jpath).unwrap();
+        let streamed_csv = std::fs::read_to_string(&cpath).unwrap();
+        assert_eq!(streamed_json, rt.trace_chrome_json_arrival().unwrap());
+        assert_eq!(streamed_csv, rt.trace_csv_arrival().unwrap());
+        // Streamed byte counts match what landed on disk.
+        assert_eq!(
+            stats.iter().map(|s| s.bytes_written).sum::<u64>() as usize,
+            streamed_json.len() + streamed_csv.len()
+        );
+        let _ = std::fs::remove_file(&jpath);
+        let _ = std::fs::remove_file(&cpath);
+    }
+}
+
+#[test]
+fn summary_carries_drop_counts_and_sink_stats() {
+    let mut rt = hopper_runtime(
+        3,
+        TraceConfig {
+            log_capacity: 16, // force ring shedding
+            ..TraceConfig::default()
+        },
+        1,
+        vec![Box::new(CountingSink::new())],
+    );
+    let summary = rt.run();
+    assert!(summary.trace_dropped > 0, "16-record rings must shed");
+    assert_eq!(summary.trace_dropped, rt.tracer().unwrap().dropped_events());
+    assert_eq!(summary.trace_sinks.len(), 1);
+    let s = &summary.trace_sinks[0];
+    assert_eq!(s.name, "counting");
+    assert!(s.records > 0);
+    // Sinks see the full stream even though the rings shed.
+    assert!(s.records > summary.trace_dropped);
+    let report = rt.projections_report(5).unwrap();
+    assert!(report.contains("dropped from rings"), "{report}");
+    assert!(report.contains("sink counting:"), "{report}");
+}
+
+#[test]
+fn critical_path_equals_makespan_on_serial_chain() {
+    let mut rt = Runtime::builder(MachineConfig::homogeneous(4))
+        .seed(9)
+        .tracing(TraceConfig::default().with_critical_path())
+        .build();
+    let arr = rt.create_array::<Chain>("chain");
+    let n = 24i64;
+    for i in 0..n {
+        rt.insert(arr, Ix::i1(i), Chain { n, arr }, Some(i as usize % 4));
+    }
+    rt.send(arr, Ix::i1(0), 0);
+    let summary = rt.run();
+    let cp = rt.tracer().unwrap().critical_path().unwrap();
+    assert_eq!(cp.segments as u64, n as u64, "every hop is on the path");
+    let cp_ns = (cp.len_s * 1e9).round() as u64;
+    assert_eq!(
+        cp_ns,
+        summary.end_time.as_nanos(),
+        "a serial chain's critical path IS the makespan"
+    );
+    assert!(cp.msg_wait_s > 0.0, "hop latency must be attributed");
+    // Attribution covers every PE the chain touched and sums to the path.
+    let by_pe_total: f64 = cp.by_pe.iter().map(|(_, s)| s).sum();
+    let by_entry_total: f64 = cp.by_entry.iter().map(|(_, _, s, _)| s).sum();
+    assert!((by_pe_total - by_entry_total).abs() < 1e-12);
+    assert!((by_pe_total + cp.msg_wait_s - cp.len_s).abs() < 1e-9);
+    let report = rt.projections_report(5).unwrap();
+    assert!(report.contains("-- critical path:"), "{report}");
+}
+
+#[test]
+fn critical_path_never_exceeds_makespan() {
+    for seed in [1u64, 5, 23] {
+        let mut rt =
+            hopper_runtime(seed, TraceConfig::default().with_critical_path(), 1, vec![]);
+        let summary = rt.run();
+        let cp = rt.tracer().unwrap().critical_path().unwrap();
+        let cp_ns = (cp.len_s * 1e9).round() as u64;
+        assert!(
+            cp_ns <= summary.end_time.as_nanos(),
+            "seed {seed}: cp {cp_ns} > makespan {}",
+            summary.end_time.as_nanos()
+        );
+        assert!(cp.len_s > 0.0);
+    }
+}
+
+#[test]
+fn sinks_and_analyzer_force_the_sequential_engine() {
+    // Sinks write files in arrival order and the analyzer chains nodes
+    // across sends — both byte-level contracts hold only on the sequential
+    // engine, so the parallel planner must decline.
+    let mut with_sink =
+        hopper_runtime(7, TraceConfig::default(), 2, vec![Box::new(CountingSink::new())]);
+    with_sink.run();
+    assert!(!with_sink.last_run_parallel());
+
+    let mut with_cp = hopper_runtime(7, TraceConfig::default().with_critical_path(), 2, vec![]);
+    with_cp.run();
+    assert!(!with_cp.last_run_parallel());
+
+    // And the declined runs still match the sequential engine byte-for-byte.
+    let mut plain = hopper_runtime(7, TraceConfig::default(), 1, vec![]);
+    plain.run();
+    assert_eq!(
+        with_sink.trace_chrome_json().unwrap(),
+        plain.trace_chrome_json().unwrap()
+    );
+}
+
+proptest! {
+    /// The histogram's quantile estimate always lands in the same
+    /// log-bucket as the exact order statistic — i.e. within one bucket
+    /// (≤ 12.5% relative error) of the true quantile.
+    #[test]
+    fn hist_quantile_within_one_bucket_of_exact(
+        mut samples in proptest::collection::vec(0u64..1_000_000_000_000, 1..300),
+        qs in proptest::collection::vec(0.001f64..1.0, 1..6),
+    ) {
+        let mut h = LogHist::new();
+        for &s in &samples {
+            h.add(s);
+        }
+        samples.sort_unstable();
+        for q in qs {
+            let rank = ((q * samples.len() as f64).ceil() as usize)
+                .clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let est = h.quantile(q);
+            prop_assert_eq!(
+                LogHist::bucket_of(est),
+                LogHist::bucket_of(exact),
+                "q={} exact={} est={}", q, exact, est
+            );
+            prop_assert!(est <= exact);
+        }
+    }
+}

@@ -27,6 +27,7 @@ mod events;
 mod failure;
 mod network;
 pub mod presets;
+pub mod rss;
 mod speed;
 pub mod thermal;
 mod time;
@@ -37,6 +38,7 @@ pub use disk::{DiskFault, DiskModel};
 pub use events::EventQueue;
 pub use failure::{Failure, FailureKind, FailurePlan};
 pub use network::{NetCounters, NetworkModel, NetworkParams};
+pub use rss::{current_rss_bytes, peak_rss_bytes};
 pub use speed::{InterferenceWindow, SpeedModel};
 pub use time::SimTime;
 pub use topology::Torus;

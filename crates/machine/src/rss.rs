@@ -1,0 +1,61 @@
+//! Host-process memory counters, read from `/proc/self/status`.
+//!
+//! The scale benchmark (`scale_bench`) proves that streaming observability
+//! holds peak memory bounded as simulated PE counts grow into the
+//! 128 K–1 M range; these helpers are how it measures that. `VmHWM` is the
+//! kernel's high-water mark for resident set size — monotonic over the
+//! process lifetime, which is why `scale_bench` runs each measurement
+//! point in a fresh subprocess.
+//!
+//! On platforms without procfs both functions return `None`; callers
+//! should degrade to reporting the metric as unavailable rather than fail.
+
+/// Peak (high-water-mark) resident set size of this process in bytes
+/// (`VmHWM`), or `None` when procfs is unavailable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    proc_status_kib("VmHWM:").map(|kib| kib * 1024)
+}
+
+/// Current resident set size of this process in bytes (`VmRSS`), or `None`
+/// when procfs is unavailable.
+pub fn current_rss_bytes() -> Option<u64> {
+    proc_status_kib("VmRSS:").map(|kib| kib * 1024)
+}
+
+/// Parse one `kB` field out of `/proc/self/status`.
+fn proc_status_kib(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_status_kib(&status, field)
+}
+
+fn parse_status_kib(status: &str, field: &str) -> Option<u64> {
+    status
+        .lines()
+        .find(|l| l.starts_with(field))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_fields() {
+        let status = "Name:\tcargo\nVmHWM:\t  123456 kB\nVmRSS:\t   7890 kB\n";
+        assert_eq!(parse_status_kib(status, "VmHWM:"), Some(123_456));
+        assert_eq!(parse_status_kib(status, "VmRSS:"), Some(7_890));
+        assert_eq!(parse_status_kib(status, "VmPeak:"), None);
+    }
+
+    #[test]
+    fn live_counters_are_sane_on_linux() {
+        // On Linux procfs both counters exist and peak >= current > 0.
+        if let (Some(peak), Some(cur)) = (peak_rss_bytes(), current_rss_bytes()) {
+            assert!(cur > 0);
+            assert!(peak >= cur / 2, "peak {peak} implausibly below current {cur}");
+        }
+    }
+}

@@ -27,11 +27,13 @@
 pub use charm_core::replay::{DigestPoint, ExecRec, PerturbConfig, ReplayConfig, ReplayLog, SendRec};
 
 pub mod demo;
+mod critpath;
 mod logfile;
 mod races;
 mod verify;
 mod whatif;
 
+pub use critpath::{critical_path, CritPath, CritSeg};
 pub use logfile::{load, save, LogError};
 pub use races::{diff_runs, hunt, HuntOutcome, MsgDesc, RaceFinding, RaceReport, Witness};
 pub use verify::{verify, Divergence, VerifyReport};

@@ -1,0 +1,58 @@
+//! Offline (exact, from a recorded log) vs online (streaming, in-tracer)
+//! critical-path agreement on a real app:
+//!
+//! * the offline decomposition telescopes exactly — `Σ dur + Σ wait` over
+//!   the chain equals the latest execution's end time to the nanosecond,
+//! * the online estimate never exceeds the offline truth, which never
+//!   exceeds the recorded makespan.
+
+use charm_apps::stencil;
+use charm_core::{ReplayConfig, TraceConfig};
+use charm_machine::presets;
+use charm_replay::critical_path;
+
+#[test]
+fn offline_exact_bounds_online_estimate_and_makespan() {
+    let mut cfg = stencil::StencilConfig::cloud_4k(presets::cloud(8), 2);
+    cfg.steps = 4;
+    cfg.record = Some(ReplayConfig::default());
+    cfg.trace = Some(TraceConfig::summary_only().with_critical_path());
+    let (_run, mut rt) = stencil::run_with_runtime(cfg);
+
+    let online = rt
+        .tracer()
+        .expect("tracing was on")
+        .critical_path()
+        .expect("entries executed");
+    let online_ns = (online.len_s * 1e9).round() as u64;
+
+    let log = rt.take_replay_log().expect("recording was on");
+    let offline = critical_path(&log).expect("executions recorded");
+
+    // Exact telescoping: the chain accounts for the full path length.
+    let accounted: u64 = offline.segments.iter().map(|s| s.dur_ns + s.wait_ns).sum();
+    assert_eq!(accounted, offline.len_ns);
+    assert_eq!(
+        offline.wait_ns,
+        offline.segments.iter().map(|s| s.wait_ns).sum::<u64>()
+    );
+    assert!(offline.segments.len() > 1);
+    assert!(!offline.by_entry.is_empty());
+
+    // Online is a lower bound on the exact path, which is bounded by the
+    // recorded makespan.
+    assert!(
+        online_ns <= offline.len_ns,
+        "online {online_ns} > offline exact {}",
+        offline.len_ns
+    );
+    assert!(
+        offline.len_ns <= log.end_ns,
+        "offline {} > makespan {}",
+        offline.len_ns,
+        log.end_ns
+    );
+    // Both must be substantial fractions of the run, not degenerate zeros.
+    assert!(online_ns > 0);
+    assert!(offline.len_ns * 10 >= log.end_ns * 5, "path under half the makespan");
+}

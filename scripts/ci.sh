@@ -1,8 +1,9 @@
 #!/bin/sh
 # Single-entry CI gate: release build, full test suite, clippy (warnings
-# are errors, all crates), and the four end-to-end smokes (tracing,
-# record/replay, engine throughput, and the elastic controller — the last
-# two also validate the committed BENCH_engine.json / BENCH_elastic.json).
+# are errors, all crates), and the five end-to-end smokes (tracing,
+# record/replay, engine throughput, the elastic controller, and streaming
+# observability at scale — the last three also validate the committed
+# BENCH_engine.json / BENCH_elastic.json / BENCH_scale.json).
 # Exits non-zero on the first failure.
 set -eu
 cd "$(dirname "$0")/.."
@@ -27,5 +28,8 @@ sh scripts/bench_smoke.sh
 
 echo "==> elastic smoke"
 sh scripts/elastic_smoke.sh
+
+echo "==> scale smoke"
+sh scripts/scale_smoke.sh
 
 echo "CI OK"

@@ -1,0 +1,51 @@
+#!/bin/sh
+# Scale-observability smoke: run the reduced scale_bench matrix — a 128K-PE
+# stencil under full streaming (rings at capacity 0, Chrome+CSV sinks) with
+# a hard peak-RSS ceiling, plus an off-vs-stream overhead arm — then
+# schema-check the committed BENCH_scale.json (which must hold the full
+# matrix including the 1M-PE point).
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo run --release -q -p charm-bench --bin scale_bench -- --smoke
+
+python3 - <<'EOF'
+import json
+
+with open("BENCH_scale.json") as f:
+    b = json.load(f)
+
+assert b["bench"] == "scale", "wrong bench id"
+assert b["mode"] == "full", "committed BENCH_scale.json must be a full run"
+
+scale = b["scale"]
+assert [p["pes"] for p in scale] == [131072, 262144, 524288, 1048576], \
+    "scale arm must cover 128K-1M simulated PEs"
+for p in scale:
+    for k in ("steps", "events", "entries", "messages", "wall_s",
+              "events_per_sec", "ring_dropped", "sink_records",
+              "sink_bytes", "peak_rss_bytes", "rss_bytes_per_pe"):
+        assert k in p, f"point {p['pes']} missing {k}"
+    assert p["peak_rss_bytes"] > 0, "VmHWM missing"
+    assert p["sink_records"] > 0, "sinks saw nothing"
+    assert p["ring_dropped"] > 0, "capacity-0 rings must shed"
+
+big = scale[-1]
+assert big["peak_rss_bytes"] < 8 * 2**30, "1M-PE point over the 8 GiB ceiling"
+# Bounded memory: RSS per PE must not grow with PE count (at-most-linear).
+assert big["rss_bytes_per_pe"] <= scale[0]["rss_bytes_per_pe"] * 1.5, \
+    "super-linear memory growth across the scale arm"
+
+arms = [a["arm"] for a in b["overhead"]]
+assert arms == ["off", "summary_only", "stream"], f"overhead arms {arms}"
+off = next(a for a in b["overhead"] if a["arm"] == "off")
+assert all(a["events"] == off["events"] for a in b["overhead"]), \
+    "overhead arms ran different virtual work"
+
+print("BENCH_scale.json schema ok: 1M-PE point streamed %d records, "
+      "peak RSS %.2f GiB (%.0f B/PE)" % (
+          big["sink_records"], big["peak_rss_bytes"] / 2**30,
+          big["rss_bytes_per_pe"]))
+EOF
+
+echo "scale smoke test passed"

@@ -1,8 +1,11 @@
 #!/bin/sh
 # Tracing smoke test: run the projections-lite demo driver (which already
-# self-checks busy-time agreement and exits non-zero on mismatch), then
+# self-checks busy-time agreement, streamed-vs-in-memory byte equality,
+# and the critical-path bound, exiting non-zero on mismatch), then
 # validate that the exported Chrome trace is well-formed JSON with the
-# expected event phases and one track per PE plus the RTS track.
+# expected event phases and one track per PE plus the RTS track, and that
+# the *streamed* Chrome/CSV files — written incrementally by file sinks
+# during the run — are themselves well-formed and mutually consistent.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -35,6 +38,35 @@ for e in events:
         assert float(e["dur"]) >= 0.0
 
 print(f"trace smoke ok: {len(events)} events, {len(pe_tracks)} PE tracks + RTS")
+EOF
+
+python3 - <<'EOF'
+import json
+
+# The streamed Chrome trace is written record by record during the run;
+# it must still parse as one well-formed JSON document with the same
+# phases and metadata tracks as the in-memory export.
+with open("results/trace_leanmd_stream.json") as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert trace.get("displayTimeUnit") == "ms", "Perfetto display unit missing"
+assert events, "streamed trace has no events"
+phases = {e["ph"] for e in events}
+for ph in ("X", "M", "i", "C"):
+    assert ph in phases, f"streamed trace missing phase {ph}"
+meta = sum(1 for e in events if e["ph"] == "M")
+
+# The streamed CSV: a header plus one row per non-metadata record, the
+# same population the Chrome stream carries.
+with open("results/trace_leanmd_stream.csv") as f:
+    lines = f.read().splitlines()
+assert lines[0] == "t_ns,track,kind,name,dur_ns,bytes,a,b", "CSV header changed"
+rows = len(lines) - 1
+assert rows > 0, "streamed CSV has no rows"
+assert rows == len(events) - meta, \
+    f"CSV rows {rows} != Chrome events {len(events)} - {meta} metadata"
+
+print(f"stream smoke ok: {rows} records streamed to Chrome JSON + CSV")
 EOF
 
 echo "trace smoke test passed"
