@@ -19,6 +19,7 @@
 pub mod amr3d;
 pub mod barneshut;
 pub mod changa;
+pub mod kv;
 pub mod leanmd;
 pub mod lulesh;
 pub mod netbench;

@@ -93,7 +93,7 @@ pub use power::DvfsScheme;
 pub use replay::{DigestPoint, ExecRec, PerturbConfig, ReplayConfig, ReplayLog, SendRec};
 pub use runtime::{HomeMap, RunSummary, Runtime, RuntimeBuilder, Unrecoverable, ENVELOPE_BYTES};
 pub use trace::{
-    CriticalPath, EntryKind, LogHist, NameTable, SinkStats, TraceConfig, TraceEventKind,
+    CriticalPath, EntryKind, EntrySlo, LogHist, NameTable, SinkStats, TraceConfig, TraceEventKind,
     TraceProfile, TraceRecord, TraceSink, Tracer,
 };
 pub use tsink::{ChromeStreamSink, CountingSink, CsvStreamSink};

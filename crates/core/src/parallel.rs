@@ -242,6 +242,15 @@ impl Runtime {
         {
             return None;
         }
+        // A capped recording sheds by *global* exec order, which shard
+        // recorders don't know; run it sequentially.
+        if self
+            .recorder
+            .as_ref()
+            .is_some_and(|r| r.cfg.max_execs.is_some())
+        {
+            return None;
+        }
         if self.thermal.is_some()
             || self.perturb.is_some()
             || self.elastic.is_some()

@@ -28,6 +28,16 @@ pub struct ReplayConfig {
     /// (`None` = only the final state is digested). Periodic points make
     /// divergence *localization* possible, not just detection.
     pub digest_every: Option<u64>,
+    /// Stop recording after this many executed entries (`None` = unbounded).
+    /// Service-style workloads execute indefinitely, so an uncapped log
+    /// grows without bound; a cap keeps the in-memory buffer fixed while
+    /// [`RunSummary`](crate::RunSummary)'s `replay_shed_execs` /
+    /// `replay_shed_sends` make the truncation visible. The recorded prefix
+    /// is byte-identical to the same prefix of an uncapped recording; state
+    /// points past the cap are suppressed (the final-state digest still
+    /// reflects the true end of the run, so end-to-end `verify` only makes
+    /// sense for uncapped logs).
+    pub max_execs: Option<u64>,
 }
 
 impl ReplayConfig {
@@ -36,6 +46,16 @@ impl ReplayConfig {
         assert!(n > 0, "digest interval must be positive");
         ReplayConfig {
             digest_every: Some(n),
+            ..Default::default()
+        }
+    }
+
+    /// Record at most `n` executed entries (bounded service recording).
+    pub fn with_max_execs(n: u64) -> Self {
+        assert!(n > 0, "exec cap must be positive");
+        ReplayConfig {
+            max_execs: Some(n),
+            ..Default::default()
         }
     }
 }
@@ -293,6 +313,10 @@ pub(crate) struct Recorder {
     /// Sends whose producing exec is identified by dispatch key; attached
     /// to the right exec (any shard's) when the log is finalized.
     deferred: Vec<((u64, u64), SendRec)>,
+    /// Entry executions dropped past [`ReplayConfig::max_execs`].
+    shed_execs: u64,
+    /// Sends dropped because their producing exec was shed.
+    shed_sends: u64,
 }
 
 impl Recorder {
@@ -310,7 +334,26 @@ impl Recorder {
             current: None,
             origin_dispatch: None,
             deferred: Vec::new(),
+            shed_execs: 0,
+            shed_sends: 0,
         }
+    }
+
+    /// Has the exec cap been reached?
+    fn capped(&self) -> bool {
+        self.cfg
+            .max_execs
+            .is_some_and(|m| self.execs.len() as u64 >= m)
+    }
+
+    /// Entry executions shed past the cap.
+    pub(crate) fn shed_execs(&self) -> u64 {
+        self.shed_execs
+    }
+
+    /// Sends shed because their producing exec was shed.
+    pub(crate) fn shed_sends(&self) -> u64 {
+        self.shed_sends
     }
 
     fn intern(&mut self, name: &str) -> u32 {
@@ -333,6 +376,11 @@ impl Recorder {
         let origin = match (self.origin_dispatch, self.current) {
             (Some(dk), _) => Origin::Dispatch(dk),
             (None, Some(i)) => Origin::Exec(i),
+            // Past the exec cap nothing executes on the record, so a
+            // message without a current exec has no recordable producer:
+            // skip the origin table (it must not grow unbounded either)
+            // and count the send when it routes.
+            (None, None) if self.capped() => return,
             (None, None) => Origin::External,
         };
         self.origin.insert(msg_id, origin);
@@ -364,6 +412,9 @@ impl Recorder {
         match self.origin.get(&msg_id).copied() {
             Some(Origin::Exec(i)) => self.execs[i].sends.push(rec),
             Some(Origin::Dispatch(dk)) => self.deferred.push((dk, rec)),
+            // An untracked message under a capped recording was produced
+            // past the cap: shed it (visibly) instead of growing `roots`.
+            None if self.capped() => self.shed_sends += 1,
             Some(Origin::External) | None => self.roots.push(rec),
         }
     }
@@ -387,6 +438,11 @@ impl Recorder {
         n_local: u32,
         dispatch: (u64, u64),
     ) {
+        if self.capped() {
+            self.shed_execs += 1;
+            self.current = None;
+            return;
+        }
         let entry = self.intern(entry_name);
         let seq = self.execs.len() as u64;
         self.dispatch_keys.push(dispatch);
@@ -422,6 +478,11 @@ impl Recorder {
     /// coordinator computes `seq` from the published per-shard exec counts
     /// (a shard-local `execs.len()` would be meaningless there).
     pub(crate) fn push_state_point_at(&mut self, seq: u64, t: SimTime, digests: Vec<(ObjId, u64)>) {
+        // Past the cap the digest would describe state the log's exec
+        // prefix cannot reproduce; keep the truncated log self-consistent.
+        if self.capped() {
+            return;
+        }
         self.state_points.push(DigestPoint {
             seq,
             t_ns: t.0,
@@ -480,6 +541,8 @@ impl Recorder {
             self.routed.extend(src.routed);
             self.roots.extend(src.roots);
             self.state_points.extend(src.state_points);
+            self.shed_execs += src.shed_execs;
+            self.shed_sends += src.shed_sends;
             // Only shard 0 folds reductions, so deferred sends arrive here
             // already in chronological fold order — same as sequential.
             self.deferred.extend(src.deferred);

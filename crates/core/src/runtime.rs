@@ -266,6 +266,15 @@ pub struct RunSummary {
     pub trace_dropped: u64,
     /// Delivery stats for every installed streaming trace sink.
     pub trace_sinks: Vec<crate::trace::SinkStats>,
+    /// Per-entry-method latency SLOs (p50/p99/p999), sorted by total busy
+    /// time. Empty when tracing is off.
+    pub entry_slos: Vec<crate::trace::EntrySlo>,
+    /// Entry executions shed from a capped replay recording
+    /// ([`ReplayConfig::max_execs`](crate::ReplayConfig)); 0 when recording
+    /// is off or unbounded.
+    pub replay_shed_execs: u64,
+    /// Message sends shed from a capped replay recording.
+    pub replay_shed_sends: u64,
 }
 
 /// A failure (or cascade) destroyed state that no surviving checkpoint
@@ -1300,6 +1309,9 @@ impl Runtime {
                 .tracer
                 .as_ref()
                 .map_or_else(Vec::new, |t| t.sink_stats()),
+            entry_slos: self.entry_slos(),
+            replay_shed_execs: self.recorder.as_ref().map_or(0, |r| r.shed_execs()),
+            replay_shed_sends: self.recorder.as_ref().map_or(0, |r| r.shed_sends()),
         }
     }
 

@@ -506,6 +506,40 @@ impl LogHist {
         }
         self.total += o.total;
     }
+
+    /// Raw bucket counts (length [`LogHist::num_buckets`]). Pairs with
+    /// [`LogHist::from_counts`] so chares can ship histograms through
+    /// `RedOp::Sum` reductions: bucket-wise summation of counts *is* the
+    /// histogram merge.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of buckets in every histogram.
+    pub const fn num_buckets() -> usize {
+        QH_BUCKETS
+    }
+
+    /// Rebuild a histogram from raw bucket counts (e.g. the value of a
+    /// summed reduction over per-chare [`LogHist::counts`] vectors). Extra
+    /// trailing entries are ignored; missing ones count as empty buckets.
+    pub fn from_counts(counts: &[u64]) -> Self {
+        let mut h = LogHist::new();
+        for (a, &b) in h.counts.iter_mut().zip(counts) {
+            *a = b;
+        }
+        h.total = h.counts.iter().sum();
+        h
+    }
+}
+
+// Serializable so latency histograms can live inside chare state and
+// survive migration / checkpoint like any other field.
+impl charm_pup::Pup for LogHist {
+    fn pup(&mut self, p: &mut charm_pup::Puper) {
+        p.p(&mut self.counts);
+        p.p(&mut self.total);
+    }
 }
 
 impl std::fmt::Debug for LogHist {
@@ -566,6 +600,26 @@ impl EntryAgg {
         }
         self.qhist.merge(&o.qhist);
     }
+}
+
+/// Machine-readable per-entry-method latency SLO row, carried on
+/// [`RunSummary`](crate::RunSummary) so bench drivers and service monitors
+/// read p50/p99/p999 directly instead of parsing the projections report
+/// text. A slim projection of [`TraceProfile`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntrySlo {
+    /// `<array>::<entry>` (same naming as [`TraceProfile::name`]).
+    pub name: String,
+    /// Executions observed.
+    pub count: u64,
+    /// Total busy seconds across executions.
+    pub total_s: f64,
+    /// Median execution time, seconds (log-bucket estimate).
+    pub p50_s: f64,
+    /// 99th-percentile execution time, seconds (log-bucket estimate).
+    pub p99_s: f64,
+    /// 99.9th-percentile execution time, seconds (log-bucket estimate).
+    pub p999_s: f64,
 }
 
 /// Resolved per-entry-method profile, ready for reports and tuners.
@@ -1545,6 +1599,39 @@ impl Runtime {
                         .filter(|(_, &c)| c > 0)
                         .map(|(i, &c)| (1u64 << i, c))
                         .collect(),
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.total_s
+                .partial_cmp(&a.total_s)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        out
+    }
+
+    /// Structured per-entry p50/p99/p999 rows — the machine-readable form
+    /// of the projections report's SLO columns, also carried on every
+    /// [`RunSummary`](crate::RunSummary). Sorted by total busy time
+    /// (descending, then name). Empty when tracing is off.
+    pub fn entry_slos(&self) -> Vec<EntrySlo> {
+        let Some(tr) = &self.tracer else {
+            return Vec::new();
+        };
+        let mut keys: Vec<_> = tr.profiles.keys().copied().collect();
+        keys.sort_unstable();
+        let mut out: Vec<EntrySlo> = keys
+            .into_iter()
+            .map(|(array, entry)| {
+                let a = &tr.profiles[&(array, entry)];
+                EntrySlo {
+                    name: self.entry_name(array, entry),
+                    count: a.count,
+                    total_s: a.total.as_secs_f64(),
+                    p50_s: a.qhist.quantile(0.5) as f64 / 1e9,
+                    p99_s: a.qhist.quantile(0.99) as f64 / 1e9,
+                    p999_s: a.qhist.quantile(0.999) as f64 / 1e9,
                 }
             })
             .collect();

@@ -1,9 +1,10 @@
 #!/bin/sh
 # Single-entry CI gate: release build, full test suite, clippy (warnings
-# are errors, all crates), and the five end-to-end smokes (tracing,
-# record/replay, engine throughput, the elastic controller, and streaming
-# observability at scale — the last three also validate the committed
-# BENCH_engine.json / BENCH_elastic.json / BENCH_scale.json).
+# are errors, all crates), and the six end-to-end smokes (tracing,
+# record/replay, engine throughput, the elastic controller, streaming
+# observability at scale, and the charm-kv serving workload — the last
+# four also validate the committed BENCH_engine.json / BENCH_elastic.json
+# / BENCH_scale.json / BENCH_service.json).
 # Exits non-zero on the first failure.
 set -eu
 cd "$(dirname "$0")/.."
@@ -31,5 +32,8 @@ sh scripts/elastic_smoke.sh
 
 echo "==> scale smoke"
 sh scripts/scale_smoke.sh
+
+echo "==> service smoke"
+sh scripts/service_smoke.sh
 
 echo "CI OK"
