@@ -82,6 +82,9 @@ pub struct LeanMdConfig {
     pub perturb: Option<charm_core::PerturbConfig>,
     /// Simulator worker threads (1 = sequential engine).
     pub threads: usize,
+    /// Run on the classic (pre-overhaul) engine hot path: binary-heap
+    /// event queue, no arena recycling. A/B regression knob.
+    pub classic_hotpath: bool,
 }
 
 impl Default for LeanMdConfig {
@@ -108,6 +111,7 @@ impl Default for LeanMdConfig {
             trace_sinks: Vec::new(),
             record: None,
             perturb: None,
+            classic_hotpath: false,
         }
     }
 }
@@ -550,6 +554,7 @@ pub fn run_with_runtime(mut config: LeanMdConfig) -> (AppRun, Runtime) {
     ))
     .seed(config.seed)
     .threads(config.threads)
+    .classic_hotpath(config.classic_hotpath)
     .lb_trigger(LbTrigger::AtSync);
     if let Some(interval) = config.auto_ckpt {
         b = b.auto_checkpoint(interval);

@@ -56,6 +56,9 @@ pub struct PdesConfig {
     pub trace: Option<charm_core::TraceConfig>,
     /// Simulator worker threads (1 = sequential engine).
     pub threads: usize,
+    /// Run on the classic (pre-overhaul) engine hot path: binary-heap
+    /// event queue, no arena recycling. A/B regression knob.
+    pub classic_hotpath: bool,
 }
 
 impl Default for PdesConfig {
@@ -74,6 +77,7 @@ impl Default for PdesConfig {
             perturb: None,
             trace: None,
             threads: 1,
+            classic_hotpath: false,
         }
     }
 }
@@ -373,7 +377,8 @@ pub fn run_with_runtime(mut config: PdesConfig) -> (PdesRun, Runtime) {
         MachineConfig::homogeneous(1),
     ))
     .seed(config.seed)
-    .threads(config.threads);
+    .threads(config.threads)
+    .classic_hotpath(config.classic_hotpath);
     if let Some(rc) = config.record.take() {
         b = b.record(rc);
     }

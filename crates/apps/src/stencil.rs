@@ -56,6 +56,9 @@ pub struct StencilConfig {
     pub trace_sinks: Vec<Box<dyn charm_core::TraceSink>>,
     /// Simulator worker threads (1 = sequential engine).
     pub threads: usize,
+    /// Run on the classic (pre-overhaul) engine hot path: binary-heap
+    /// event queue, no arena recycling. A/B regression knob.
+    pub classic_hotpath: bool,
 }
 
 impl StencilConfig {
@@ -83,6 +86,7 @@ impl StencilConfig {
             trace: None,
             trace_sinks: Vec::new(),
             threads: 1,
+            classic_hotpath: false,
         }
     }
 }
@@ -293,6 +297,7 @@ pub fn run_with_runtime(mut config: StencilConfig) -> (AppRun, Runtime) {
     .dvfs(config.dvfs)
     .dvfs_period(config.dvfs_period)
     .threads(config.threads)
+    .classic_hotpath(config.classic_hotpath)
     .lb_trigger(LbTrigger::AtSync);
     if let Some(s) = config.strategy.take() {
         b = b.strategy(s);

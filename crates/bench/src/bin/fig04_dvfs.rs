@@ -39,6 +39,7 @@ fn config(scheme: DvfsScheme, with_lb: bool, scale: Scale) -> StencilConfig {
         trace: None,
         trace_sinks: Vec::new(),
         threads: 1,
+        classic_hotpath: false,
     }
 }
 

@@ -226,6 +226,109 @@ fn slot_ix(kind: u8, slot: usize) -> Ix {
     }
 }
 
+/// One source PE's location cache: the last-known PE (and epoch) of every
+/// remote element this PE has sent to.
+///
+/// Probed once per remote send, so it mirrors [`ArrayStore`]'s two-tier
+/// layout: dense 1-D/2-D indices — the overwhelmingly common case — hit a
+/// flat per-array lane with a single indexed load and **no hashing**;
+/// everything else spills to a hash map. Entries pack as
+/// `((pe + 1) << 32) | epoch`, with `0` meaning "not cached".
+#[derive(Clone, Default)]
+pub(crate) struct LocCache {
+    /// Whether dense lanes are in use at all. A lane's length is the
+    /// highest cached *slot*, not the entry count — ~512 KB fully grown —
+    /// which is a fine trade per source PE on bench-sized machines but
+    /// O(PEs × 512 KB) on huge ones. Above
+    /// [`crate::runtime::LOC_CACHE_DENSE_MAX_PES`] simulated PEs every
+    /// entry goes to the (entry-proportional) spill map instead.
+    dense_enabled: bool,
+    /// Per-array dense kind (`DENSE_NONE` until the first dense-eligible
+    /// insert fixes it, exactly like the store's own tier selection).
+    kinds: Vec<u8>,
+    /// Per-array flat lane, indexed by [`dense_slot`]; grown on demand.
+    dense: Vec<Vec<u64>>,
+    /// Everything that doesn't fit a dense lane.
+    spill: FxHashMap<ObjId, (usize, u32)>,
+}
+
+impl LocCache {
+    pub(crate) fn with_dense(dense_enabled: bool) -> Self {
+        Self { dense_enabled, ..Self::default() }
+    }
+
+    /// Cached `(pe, epoch)` of `obj`, if any.
+    #[inline]
+    pub(crate) fn get(&self, obj: &ObjId) -> Option<(usize, u32)> {
+        let a = obj.array.0 as usize;
+        if let Some(&kind) = self.kinds.get(a) {
+            if let Some(slot) = dense_slot(kind, &obj.ix) {
+                let v = self.dense[a].get(slot).copied().unwrap_or(0);
+                if v == 0 {
+                    return None;
+                }
+                return Some((((v >> 32) - 1) as usize, v as u32));
+            }
+        }
+        self.spill.get(obj).copied()
+    }
+
+    /// Record `obj` as last seen on `pe` at `epoch`.
+    pub(crate) fn insert(&mut self, obj: ObjId, (pe, epoch): (usize, u32)) {
+        if !self.dense_enabled {
+            self.spill.insert(obj, (pe, epoch));
+            return;
+        }
+        let a = obj.array.0 as usize;
+        if a >= self.kinds.len() {
+            self.kinds.resize(a + 1, DENSE_NONE);
+            self.dense.resize_with(a + 1, Vec::new);
+        }
+        if self.kinds[a] == DENSE_NONE {
+            self.kinds[a] = dense_kind_of(&obj.ix);
+        }
+        if let Some(slot) = dense_slot(self.kinds[a], &obj.ix) {
+            let lane = &mut self.dense[a];
+            if slot >= lane.len() {
+                lane.resize(slot + 1, 0);
+            }
+            lane[slot] = ((pe as u64 + 1) << 32) | epoch as u64;
+        } else {
+            self.spill.insert(obj, (pe, epoch));
+        }
+    }
+
+    /// Drop every entry (lane kinds persist: array index shapes don't
+    /// change over a run).
+    pub(crate) fn clear(&mut self) {
+        for lane in &mut self.dense {
+            lane.clear();
+        }
+        self.spill.clear();
+    }
+
+    /// Every cached `(obj, (pe, epoch))`, in no particular order — callers
+    /// are order-insensitive (the parallel-mode staleness precheck).
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (ObjId, (usize, u32))> + '_ {
+        let kinds = &self.kinds;
+        self.dense
+            .iter()
+            .enumerate()
+            .flat_map(move |(a, lane)| {
+                lane.iter().enumerate().filter(|(_, &v)| v != 0).map(move |(slot, &v)| {
+                    (
+                        ObjId {
+                            array: ArrayId(a as u32),
+                            ix: slot_ix(kinds[a], slot),
+                        },
+                        (((v >> 32) - 1) as usize, v as u32),
+                    )
+                })
+            })
+            .chain(self.spill.iter().map(|(o, &v)| (*o, v)))
+    }
+}
+
 /// Typed storage for all elements of one chare array.
 ///
 /// Layout is a two-tier hybrid tuned for the scheduler hot path, which
@@ -430,12 +533,19 @@ impl<C: Chare> AnyArray for ArrayStore<C> {
         };
         match payload {
             Payload::User(boxed) => {
-                let msg = *boxed.downcast::<C::Msg>().unwrap_or_else(|_| {
+                let boxed = boxed.downcast::<C::Msg>().unwrap_or_else(|_| {
                     panic!(
                         "array '{name}' element {ix}: message type mismatch (expected {})",
                         std::any::type_name::<C::Msg>()
                     )
                 });
+                // Recycle the payload block (the send-side `box_payload`
+                // then reuses it — no allocator traffic per message).
+                let msg = if ctx.arena {
+                    crate::arena::take_box(boxed)
+                } else {
+                    *boxed
+                };
                 e.chare.on_message(msg, ctx);
             }
             Payload::Sys(ev) => e.chare.on_event(ev, ctx),

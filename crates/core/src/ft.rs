@@ -330,8 +330,8 @@ impl Runtime {
         for &p in &doomed {
             let st = &mut self.pes[p];
             self.queued -= st.pending.len() as u64;
-            while let Some(q) = st.pending.pop() {
-                stranded.push(q.env);
+            while let Some(env) = st.pending.pop() {
+                stranded.push(env);
             }
             if st.busy {
                 st.busy = false;

@@ -61,6 +61,7 @@
 //! assert!(summary.end_time.as_secs_f64() > 0.0);
 //! ```
 
+pub mod arena;
 mod array;
 mod chare;
 pub mod ctrl;

@@ -70,8 +70,8 @@ impl Runtime {
             let mut stranded = Vec::new();
             for pe in to..old {
                 self.queued -= self.pes[pe].pending.len() as u64;
-                while let Some(p) = self.pes[pe].pending.pop() {
-                    stranded.push(p.env);
+                while let Some(env) = self.pes[pe].pending.pop() {
+                    stranded.push(env);
                 }
                 if self.pes[pe].busy {
                     // The process is torn down mid-entry: its PeFree event

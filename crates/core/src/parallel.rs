@@ -311,8 +311,8 @@ impl Runtime {
         // forwarding path (deliver to the old PE, re-route from there);
         // a shard cannot host that dance for elements it doesn't own.
         for cache in &self.loc_cache {
-            for (obj, &(pe, ep)) in cache {
-                if locs.get(obj) != Some(&(pe, ep)) {
+            for (obj, (pe, ep)) in cache.iter() {
+                if locs.get(&obj) != Some(&(pe, ep)) {
                     return None;
                 }
             }
@@ -380,7 +380,13 @@ impl Runtime {
         let mut shard_rts: Vec<Runtime> = Vec::with_capacity(shards);
         for (s, evs) in shard_events.into_iter().enumerate() {
             let (lo, hi) = bounds[s];
-            let mut events = EventQueue::with_capacity(evs.len().max(8));
+            // Shards inherit the parent's backend choice so a classic-hotpath
+            // A/B run is classic end to end.
+            let mut events = if self.events.is_heap_backed() {
+                EventQueue::heap_backed_with_capacity(evs.len().max(8))
+            } else {
+                EventQueue::with_capacity(evs.len().max(8))
+            };
             for (t, k, ev) in evs {
                 events.push_keyed(t, k, ev);
             }
@@ -480,6 +486,12 @@ impl Runtime {
                 last_run_parallel: false,
                 reconfig_overhead_shrink: self.reconfig_overhead_shrink,
                 reconfig_overhead_expand: self.reconfig_overhead_expand,
+                arena_enabled: self.arena_enabled,
+                // Workers recycle through their own thread-local pools; the
+                // base snapshot is meaningless across threads, so shard
+                // summaries report arena deltas as best-effort only.
+                arena_base: crate::arena::ArenaStats::default(),
+                entry_name_cache: FxHashMap::default(),
             });
         }
 

@@ -13,12 +13,11 @@ use crate::power::DvfsScheme;
 use crate::replay::{sys_event_digest, PerturbConfig, Recorder, ReplayConfig, ReplayLog};
 use crate::trace::{EntryKind, TraceConfig, TraceEventKind, Tracer};
 use charm_machine::thermal::ThermalModel;
-use charm_machine::{EventQueue, MachineConfig, NetworkModel, SimTime};
+use charm_machine::{EventQueue, MachineConfig, NetworkModel, PrioQueue, SimTime};
 use fxhash::FxHashMap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 /// Fixed per-message envelope overhead added to every payload's wire size.
 pub const ENVELOPE_BYTES: usize = 40;
@@ -34,6 +33,15 @@ pub(crate) const SLOT_HOST: usize = 0;
 pub(crate) const SLOT_RED: usize = 1;
 /// Key-slot offset for runtime-system events (failures, DVFS, checkpoints…).
 pub(crate) const SLOT_RTS: usize = 2;
+
+/// Largest machine (simulated PEs) that gets dense location-cache lanes.
+/// A dense lane costs memory proportional to the highest cached slot
+/// (up to ~512 KB per source PE per array) — a clear win on bench-sized
+/// machines, but at 128K–1M PEs it would dominate the engine's otherwise
+/// O(PE) footprint, so bigger machines keep the entry-proportional spill
+/// map for every cached location. Representation-only: lookups return
+/// identical results either way.
+pub(crate) const LOC_CACHE_DENSE_MAX_PES: usize = 256;
 
 /// Jitter-token salts distinguishing the several delay draws one event can
 /// make (location-query round trips, tree hops, forwards). Same convention
@@ -167,33 +175,14 @@ pub(crate) struct Envelope {
     pub cp: Option<Box<crate::trace::CpMsg>>,
 }
 
-pub(crate) struct Pending {
-    prio: i64,
-    seq: u64,
-    pub(crate) env: Box<Envelope>,
-}
-
-impl PartialEq for Pending {
-    fn eq(&self, other: &Self) -> bool {
-        self.prio == other.prio && self.seq == other.seq
-    }
-}
-impl Eq for Pending {}
-impl PartialOrd for Pending {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Pending {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // BinaryHeap is a max-heap; reverse so smaller (prio, seq) pops first.
-        Reverse((self.prio, self.seq)).cmp(&Reverse((other.prio, other.seq)))
-    }
-}
-
 /// Per-PE scheduler state.
+///
+/// `pending` orders envelopes by `(prio, arrival)`: the pushes into any one
+/// PE's queue carry globally monotone sequence numbers (the `messages`
+/// counter), so the FIFO-within-priority [`PrioQueue`] reproduces the old
+/// `BinaryHeap<(prio, seq)>` pop order exactly, in O(1) per operation.
 pub(crate) struct PeState {
-    pub(crate) pending: BinaryHeap<Pending>,
+    pub(crate) pending: PrioQueue<Box<Envelope>>,
     pub(crate) busy: bool,
     pub(crate) alive: bool,
     /// PEs blocked by a global operation (LB, checkpoint, reconfigure)
@@ -207,7 +196,7 @@ pub(crate) struct PeState {
 impl PeState {
     pub(crate) fn new() -> Self {
         PeState {
-            pending: BinaryHeap::new(),
+            pending: PrioQueue::new(),
             busy: false,
             alive: true,
             blocked_until: SimTime::ZERO,
@@ -275,6 +264,17 @@ pub struct RunSummary {
     pub replay_shed_execs: u64,
     /// Message sends shed from a capped replay recording.
     pub replay_shed_sends: u64,
+    /// Event-queue and PE-scheduler-queue operations (pushes + pops)
+    /// performed so far. Together with `events_per_sec` this separates
+    /// "fewer/cheaper queue ops" wins from everything else. Best-effort in
+    /// parallel mode (per-shard queue ops are not merged back).
+    pub queue_ops: u64,
+    /// Bytes served from the envelope/payload arena instead of the global
+    /// allocator (this thread, since the runtime was built).
+    pub arena_bytes: u64,
+    /// Global-allocator calls the arena absorbed (pool hits on allocation
+    /// plus recycled frees). Zero when built with `classic_hotpath(true)`.
+    pub alloc_bypass: u64,
 }
 
 /// A failure (or cascade) destroyed state that no surviving checkpoint
@@ -329,6 +329,7 @@ pub struct RuntimeBuilder {
     perturb: Option<PerturbConfig>,
     threads: usize,
     elastic: Option<crate::elastic::ElasticConfig>,
+    classic_hotpath: bool,
 }
 
 impl RuntimeBuilder {
@@ -470,6 +471,16 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Run on the pre-overhaul hot path: the classic `BinaryHeap` event
+    /// queue and plain global-allocator boxing instead of the calendar
+    /// queue + arena recycling. Ordering and results are identical by
+    /// contract — this knob exists so regression tests (and bisection) can
+    /// A/B the two hot paths against the same golden recordings.
+    pub fn classic_hotpath(mut self, classic: bool) -> Self {
+        self.classic_hotpath = classic;
+        self
+    }
+
     /// Construct the runtime.
     pub fn build(self) -> Runtime {
         let n = self.machine.num_pes;
@@ -484,7 +495,11 @@ impl RuntimeBuilder {
         };
         // Pre-size for a few in-flight events per PE; saves the first
         // handful of heap reallocations on every run.
-        let mut events = EventQueue::with_capacity(8 * n);
+        let mut events = if self.classic_hotpath {
+            EventQueue::heap_backed_with_capacity(8 * n)
+        } else {
+            EventQueue::with_capacity(8 * n)
+        };
         // Schedule injected failures and the DVFS sampler. A preemption
         // becomes visible at its announcement time (warning before the
         // kill); its warn key is allocated before its kill key, so a
@@ -557,7 +572,10 @@ impl RuntimeBuilder {
             rngs,
             ctrl: ControlRegistry::new(),
             ctrl_snapshot: ControlValues::default(),
-            loc_cache: vec![FxHashMap::default(); n],
+            loc_cache: vec![
+                crate::array::LocCache::with_dense(n <= LOC_CACHE_DENSE_MAX_PES);
+                n
+            ],
             limbo: FxHashMap::default(),
             reductions: FxHashMap::default(),
             qd: None,
@@ -614,6 +632,9 @@ impl RuntimeBuilder {
             last_run_parallel: false,
             reconfig_overhead_shrink: SimTime::from_secs_f64(2.0),
             reconfig_overhead_expand: SimTime::from_secs_f64(6.5),
+            arena_enabled: !self.classic_hotpath,
+            arena_base: crate::arena::stats(),
+            entry_name_cache: FxHashMap::default(),
         }
     }
 }
@@ -634,9 +655,10 @@ pub struct Runtime {
     pub(crate) rngs: Vec<StdRng>,
     pub(crate) ctrl: ControlRegistry,
     pub(crate) ctrl_snapshot: ControlValues,
-    /// Per-PE location caches: ObjId → (pe, epoch). Fx-hashed: looked up
-    /// once per send on the routing hot path.
-    pub(crate) loc_cache: Vec<FxHashMap<ObjId, (usize, u32)>>,
+    /// Per-PE location caches: ObjId → (pe, epoch). Looked up once per
+    /// send on the routing hot path; dense indices bypass hashing entirely
+    /// (see [`crate::array::LocCache`]).
+    pub(crate) loc_cache: Vec<crate::array::LocCache>,
     /// Messages for not-yet-existing elements (dynamic insertion races,
     /// in-transit migrations). Envelopes stay boxed so parking and
     /// re-routing move a pointer, not the ~120-byte payload.
@@ -753,6 +775,15 @@ pub struct Runtime {
     pub reconfig_overhead_shrink: SimTime,
     /// Modeled process start-up/reconnect cost on expand (paper: 7.2 s).
     pub reconfig_overhead_expand: SimTime,
+    /// Recycle envelopes and payload boxes through [`crate::arena`]
+    /// (default on; [`RuntimeBuilder::classic_hotpath`] turns it off).
+    pub(crate) arena_enabled: bool,
+    /// This thread's arena counters when the runtime was built; `summary()`
+    /// reports the delta.
+    pub(crate) arena_base: crate::arena::ArenaStats,
+    /// Recorder entry names per (array, entry kind), built once instead of
+    /// `format!`-allocated on every recorded execution.
+    pub(crate) entry_name_cache: FxHashMap<(u32, &'static str), String>,
 }
 
 impl Runtime {
@@ -777,6 +808,7 @@ impl Runtime {
             perturb: None,
             threads: crate::parallel::default_threads(),
             elastic: None,
+            classic_hotpath: false,
         }
     }
 
@@ -872,7 +904,7 @@ impl Runtime {
         if let Some(r) = &mut self.recorder {
             r.note_origin(rec_id); // external origin: no current exec
         }
-        let env = Box::new(Envelope {
+        let env = self.alloc_env(Envelope {
             dst: ObjId {
                 array: proxy.id,
                 ix,
@@ -907,7 +939,7 @@ impl Runtime {
             if let Some(r) = &mut self.recorder {
                 r.note_origin(rec_id);
             }
-            let env = Box::new(Envelope {
+            let env = self.alloc_env(Envelope {
                 dst: ObjId {
                     array: proxy.id,
                     ix,
@@ -955,7 +987,7 @@ impl Runtime {
                 r.note_origin(rec_id);
                 r.on_routed(rec_id, bytes, 0, pe, depth, 0);
             }
-            let env = Box::new(Envelope {
+            let env = self.alloc_env(Envelope {
                 dst,
                 payload: Payload::User(Box::new(msg.clone())),
                 bytes,
@@ -1312,6 +1344,14 @@ impl Runtime {
             entry_slos: self.entry_slos(),
             replay_shed_execs: self.recorder.as_ref().map_or(0, |r| r.shed_execs()),
             replay_shed_sends: self.recorder.as_ref().map_or(0, |r| r.shed_sends()),
+            queue_ops: self.events.ops()
+                + self.pes.iter().map(|p| p.pending.ops()).sum::<u64>(),
+            arena_bytes: crate::arena::stats()
+                .bytes_served
+                .saturating_sub(self.arena_base.bytes_served),
+            alloc_bypass: crate::arena::stats()
+                .bypass
+                .saturating_sub(self.arena_base.bypass),
         }
     }
 
@@ -1413,17 +1453,15 @@ impl Runtime {
     }
 
     fn enqueue_local(&mut self, pe: usize, env: Box<Envelope>) {
-        let seq = self.messages;
+        // Arrival order within a priority lane is the old `seq` tiebreak:
+        // `messages` is bumped once per enqueue, so FIFO-per-lane in the
+        // [`PrioQueue`] reproduces the former `(prio, seq)` heap order.
         self.messages += 1;
         self.queued += 1;
         if let Some(tr) = &mut self.tracer {
             tr.on_recv(self.now, pe, env.src_pe, env.dst, env.bytes);
         }
-        self.pes[pe].pending.push(Pending {
-            prio: env.prio,
-            seq,
-            env,
-        });
+        self.pes[pe].pending.push(env.prio, env);
     }
 
     /// Begin executing the next queued message on `pe` if it is idle.
@@ -1440,7 +1478,7 @@ impl Runtime {
                 self.push_ev(when, Ev::PeRetry { pe });
                 return;
             }
-            let Pending { env, .. } = p.pending.pop().expect("non-empty");
+            let env = p.pending.pop().expect("non-empty");
             self.queued -= 1;
             if self.execute(pe, env) {
                 return;
@@ -1485,6 +1523,18 @@ impl Runtime {
         self.events.push_keyed(t, k, ev);
     }
 
+    /// Box an envelope, recycling a pooled block when the arena is on.
+    /// Paired with the `take_box` in [`Runtime::execute`]: together they
+    /// make steady-state dispatch free of global-allocator calls.
+    #[inline]
+    pub(crate) fn alloc_env(&self, env: Envelope) -> Box<Envelope> {
+        if self.arena_enabled {
+            crate::arena::alloc_box(env)
+        } else {
+            Box::new(env)
+        }
+    }
+
     /// Schedule a message delivery under its envelope key. In shard mode,
     /// deliveries to PEs owned by another shard are buffered in the outbox
     /// and exchanged at the next window barrier; the ingesting shard counts
@@ -1504,7 +1554,7 @@ impl Runtime {
 
     /// Execute one envelope on `pe` at `self.now`. Returns false when the
     /// envelope was parked or forwarded instead of executed.
-    fn execute(&mut self, pe: usize, mut env: Box<Envelope>) -> bool {
+    fn execute(&mut self, pe: usize, env: Box<Envelope>) -> bool {
         let aid = env.dst.array;
         let ix = env.dst.ix;
         let store = &mut self.stores[aid.0 as usize];
@@ -1533,24 +1583,39 @@ impl Runtime {
             Some(_) => {}
         }
 
-        let entry_kind = match &env.payload {
+        // The envelope is definitely consumed here: take it apart by value,
+        // recycling its heap block into the arena (the per-message free —
+        // and the matching alloc at the next send — bypass the global
+        // allocator entirely; see `crate::arena`).
+        let Envelope {
+            dst,
+            mut payload,
+            bytes,
+            prio: _,
+            src_pe: _,
+            rec_id,
+            src_obj,
+            cp,
+        } = if self.arena_enabled {
+            crate::arena::take_box(env)
+        } else {
+            *env
+        };
+
+        let entry_kind = match &payload {
             Payload::User(_) => EntryKind::Message,
             Payload::Sys(ev) => EntryKind::Event(ev.kind_name()),
         };
         // Digest the consumed payload *before* execution moves it into the
-        // chare. Only pay the cost when recording.
+        // chare. Only pay the cost when recording. The recorder entry name
+        // (`array::kind`) is interned in `entry_name_cache` at use below —
+        // the old per-exec `format!` was a measurable share of recorded-run
+        // dispatch cost.
         let rec_consumed = if self.recorder.is_some() {
-            let (digest, entry_name) = match &mut env.payload {
-                Payload::User(boxed) => (
-                    store.user_msg_digest(boxed),
-                    format!("{}::on_message", store.name()),
-                ),
-                Payload::Sys(ev) => (
-                    sys_event_digest(ev),
-                    format!("{}::{}", store.name(), ev.kind_name()),
-                ),
-            };
-            Some((digest, entry_name))
+            Some(match &mut payload {
+                Payload::User(boxed) => (store.user_msg_digest(boxed), "on_message"),
+                Payload::Sys(ev) => (sys_event_digest(ev), ev.kind_name()),
+            })
         } else {
             None
         };
@@ -1558,15 +1623,16 @@ impl Runtime {
             now: self.now,
             pe,
             num_pes: self.live_pes,
-            self_id: env.dst,
+            self_id: dst,
             work_units: 0.0,
             // Reuse one buffer across entry executions (allocation-free
             // steady state); returned to the scratch slot below.
             actions: std::mem::take(&mut self.action_scratch),
             rng: &mut self.rngs[pe],
             ctrl: &self.ctrl_snapshot,
+            arena: self.arena_enabled,
         };
-        let ok = store.execute(&ix, env.payload, &mut ctx);
+        let ok = store.execute(&ix, payload, &mut ctx);
         debug_assert!(ok, "element existed a moment ago");
         self.entries += 1;
 
@@ -1616,38 +1682,47 @@ impl Runtime {
         self.pes[pe].busy = true;
         self.busy_pes += 1;
         self.pes[pe].msgs_executed += 1;
-        self.pes[pe].current = Some((env.dst, duration, entry_kind));
+        self.pes[pe].current = Some((dst, duration, entry_kind));
         if let Some(tr) = &mut self.tracer {
             tr.pe_transition(self.now, pe, true);
         }
         self.push_ev(end, Ev::PeFree { pe });
 
         let dispatch = self.cur_dispatch;
-        if let (Some(r), Some((digest, entry_name))) = (&mut self.recorder, rec_consumed) {
-            r.begin_exec(
-                pe,
-                self.now,
-                duration,
-                env.dst,
-                &entry_name,
-                env.rec_id,
-                env.src_obj,
-                digest,
-                env.bytes,
-                work_units,
-                n_remote,
-                n_local,
-                dispatch,
-            );
+        if let Some((digest, kind)) = rec_consumed {
+            // Disjoint-field borrows: the interned name borrows
+            // `entry_name_cache` while the recorder is borrowed mutably.
+            let stores = &self.stores;
+            let entry_name = self
+                .entry_name_cache
+                .entry((aid.0, kind))
+                .or_insert_with(|| format!("{}::{}", stores[aid.0 as usize].name(), kind));
+            if let Some(r) = self.recorder.as_mut() {
+                r.begin_exec(
+                    pe,
+                    self.now,
+                    duration,
+                    dst,
+                    entry_name,
+                    rec_id,
+                    src_obj,
+                    digest,
+                    bytes,
+                    work_units,
+                    n_remote,
+                    n_local,
+                    dispatch,
+                );
+            }
         }
         // Extend the critical-path chain through this execution; outgoing
         // sends (applied below) inherit the node via `cur_cp`.
         self.cur_cp = match &mut self.tracer {
-            Some(tr) => tr.cp_on_exec(pe, env.dst, entry_kind, self.now, duration, env.cp.take()),
+            Some(tr) => tr.cp_on_exec(pe, dst, entry_kind, self.now, duration, cp),
             None => None,
         };
         let mut actions = actions;
-        self.apply_actions(env.dst, pe, end, &mut actions);
+        self.apply_actions(dst, pe, end, &mut actions);
         self.action_scratch = actions;
         self.cur_cp = None;
         if let Some(r) = &mut self.recorder {
@@ -1734,7 +1809,7 @@ impl Runtime {
                     if let Some(r) = &mut self.recorder {
                         r.note_origin(rec_id);
                     }
-                    let env = Box::new(Envelope {
+                    let env = self.alloc_env(Envelope {
                         dst,
                         payload: Payload::User(payload),
                         bytes,
@@ -1847,7 +1922,7 @@ impl Runtime {
             (true_pe, rtt)
         } else {
             match self.loc_cache[src].get(&dst) {
-                Some(&(pe, _ep)) => {
+                Some((pe, _ep)) => {
                     // Send to the cached PE; if stale, `execute` forwards.
                     (pe, SimTime::ZERO)
                 }
@@ -1939,7 +2014,7 @@ impl Runtime {
                 r.note_origin(rec_id);
                 r.on_routed(rec_id, bytes, src_pe, pe, depth, 0);
             }
-            let env = Box::new(Envelope {
+            let env = self.alloc_env(Envelope {
                 dst,
                 payload: Payload::User(make()),
                 bytes,
@@ -2131,7 +2206,7 @@ impl Runtime {
         } else {
             None
         };
-        let env = Box::new(Envelope {
+        let env = self.alloc_env(Envelope {
             dst,
             payload: Payload::Sys(ev),
             bytes: ENVELOPE_BYTES,

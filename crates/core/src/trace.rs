@@ -54,7 +54,6 @@ use crate::array::{ArrayId, ObjId};
 use crate::runtime::Runtime;
 use charm_machine::SimTime;
 use fxhash::FxHashMap;
-use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -683,6 +682,10 @@ struct CommMatrix {
     deg: Vec<u32>,
     shed_msgs: u64,
     shed_bytes: u64,
+    /// One-slot flow memo: `(key, cell index)` of the most recent hit.
+    /// Message streams are bursty per (src, dst) pair, so the common case
+    /// skips the hash probe entirely. Valid forever: `cells` is push-only.
+    last: (u64, u32),
 }
 
 impl CommMatrix {
@@ -694,6 +697,8 @@ impl CommMatrix {
             deg: vec![0; num_pes],
             shed_msgs: 0,
             shed_bytes: 0,
+            // `key()` never produces u64::MAX for real PE pairs.
+            last: (u64::MAX, 0),
         }
     }
 
@@ -702,12 +707,21 @@ impl CommMatrix {
     }
 
     fn add(&mut self, src: usize, dst: usize, bytes: u64) {
-        if let Some(&i) = self.idx.get(&Self::key(src, dst)) {
+        let key = Self::key(src, dst);
+        if self.last.0 == key {
+            let c = &mut self.cells[self.last.1 as usize];
+            c.bytes += bytes;
+            c.msgs += 1;
+            return;
+        }
+        if let Some(&i) = self.idx.get(&key) {
             let c = &mut self.cells[i as usize];
             c.bytes += bytes;
             c.msgs += 1;
+            self.last = (key, i);
         } else if self.cap == 0 || (self.deg[src] as usize) < self.cap {
-            self.idx.insert(Self::key(src, dst), self.cells.len() as u32);
+            let i = self.cells.len() as u32;
+            self.idx.insert(key, i);
             self.cells.push(CommCell {
                 src: src as u32,
                 dst: dst as u32,
@@ -715,6 +729,7 @@ impl CommMatrix {
                 msgs: 1,
             });
             self.deg[src] += 1;
+            self.last = (key, i);
         } else {
             self.shed_msgs += 1;
             self.shed_bytes += bytes;
@@ -908,7 +923,8 @@ pub struct Tracer {
     names: NameTable,
     /// Global arrival counter stamped onto every record.
     seq: u64,
-    profiles: HashMap<(ArrayId, EntryKind), EntryAgg>,
+    /// Fx-hashed: bumped once per traced entry completion on the hot path.
+    profiles: FxHashMap<(ArrayId, EntryKind), EntryAgg>,
     util: UtilTimeline,
     comm: CommMatrix,
     /// Modeled end-to-end message latency (send → delivery), nanoseconds.
@@ -939,7 +955,7 @@ impl Tracer {
             sinks_finished: false,
             names: NameTable::default(),
             seq: 0,
-            profiles: HashMap::new(),
+            profiles: FxHashMap::default(),
             msg_latency: LogHist::new(),
             busy_state: vec![false; num_pes],
             ledger: Vec::new(),
@@ -1877,6 +1893,11 @@ impl Runtime {
             out,
             "-- engine: {} event(s) in {:.3}s wall ({:.0} events/s)",
             s.events, s.wall_time_s, s.events_per_sec
+        );
+        let _ = writeln!(
+            out,
+            "-- queues: {} op(s); arena: {} B recycled, {} allocator call(s) bypassed",
+            s.queue_ops, s.arena_bytes, s.alloc_bypass
         );
         Some(out)
     }

@@ -104,23 +104,29 @@ fn same_seed_same_machine_byte_identical_exports() {
         b.trace_csv().unwrap(),
         "CSV export must be byte-identical"
     );
-    // The report's final "-- engine:" footer reports *wall-clock* throughput
-    // (real seconds, events/s), which legitimately differs run to run; all
-    // simulated content above it must stay byte-identical.
+    // The report's "-- engine:" footer reports *wall-clock* throughput
+    // (real seconds, events/s) and the "-- queues:" footer reports arena
+    // counters that depend on thread-local pool warmth; both legitimately
+    // differ run to run. All simulated content above must stay
+    // byte-identical.
     let strip_footer = |r: String| -> String {
         r.lines()
-            .filter(|l| !l.starts_with("-- engine:"))
+            .filter(|l| !l.starts_with("-- engine:") && !l.starts_with("-- queues:"))
             .collect::<Vec<_>>()
             .join("\n")
     };
     assert_eq!(
         strip_footer(a.projections_report(10).unwrap()),
         strip_footer(b.projections_report(10).unwrap()),
-        "report must be byte-identical apart from the wall-clock footer"
+        "report must be byte-identical apart from the wall-clock footers"
     );
     assert!(
         a.projections_report(10).unwrap().contains("-- engine:"),
         "report carries the engine-throughput footer"
+    );
+    assert!(
+        a.projections_report(10).unwrap().contains("-- queues:"),
+        "report carries the queue/arena footer"
     );
 }
 

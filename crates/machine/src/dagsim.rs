@@ -29,10 +29,9 @@
 //! differently (LB, DVFS), and interference/thermal transients — the
 //! standard trace-driven-simulation caveats.
 
+use crate::events::EventQueue;
 use crate::network::NetworkModel;
 use crate::{MachineConfig, SimTime};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// One executed entry method of the recorded DAG.
 #[derive(Debug, Clone)]
@@ -117,14 +116,14 @@ pub fn simulate_dag(
     }
 
     // Event-driven replay: Arrival(node) enqueues on its PE; PeFree pops
-    // the next queued node FIFO. (time, seq) keeps the order total.
-    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    // the next queued node FIFO. The event queue's internal insertion
+    // sequence keeps the (time, seq) order total, exactly as the explicit
+    // counter alongside the old binary heap did.
     enum Ev {
         Free { pe: usize },
         Arrive { node: usize },
     }
-    let mut events: BinaryHeap<Reverse<(u64, u64, Ev)>> = BinaryHeap::new();
-    let mut seq = 0u64;
+    let mut events: EventQueue<Ev> = EventQueue::new();
     let mut queues: Vec<std::collections::VecDeque<usize>> = vec![Default::default(); p];
     let mut pe_busy_until: Vec<u64> = vec![0; p];
     let mut pe_idle: Vec<bool> = vec![true; p];
@@ -159,11 +158,11 @@ pub fn simulate_dag(
         let e = &edges[ei];
         let dst_pe = nodes[e.dst].pe % p;
         let d = edge_delay(&mut net, p, e, 0, dst_pe);
-        events.push(Reverse((d.0, seq, Ev::Arrive { node: e.dst })));
-        seq += 1;
+        events.push(d, Ev::Arrive { node: e.dst });
     }
 
-    while let Some(Reverse((t, _, ev))) = events.pop() {
+    while let Some((t, ev)) = events.pop() {
+        let t = t.0;
         makespan = makespan.max(t);
         match ev {
             Ev::Arrive { node } => {
@@ -171,8 +170,7 @@ pub fn simulate_dag(
                 queues[pe].push_back(node);
                 if pe_idle[pe] {
                     pe_idle[pe] = false;
-                    events.push(Reverse((t.max(pe_busy_until[pe]), seq, Ev::Free { pe })));
-                    seq += 1;
+                    events.push(SimTime(t.max(pe_busy_until[pe])), Ev::Free { pe });
                 }
             }
             Ev::Free { pe } => {
@@ -198,12 +196,10 @@ pub fn simulate_dag(
                     let e = &edges[ei];
                     let dst_pe = nodes[e.dst].pe % p;
                     let d = edge_delay(&mut net, p, e, pe, dst_pe);
-                    events.push(Reverse((end + d.0, seq, Ev::Arrive { node: e.dst })));
-                    seq += 1;
+                    events.push(SimTime(end + d.0), Ev::Arrive { node: e.dst });
                 }
                 // PE picks up its next queued node when this one ends.
-                events.push(Reverse((end, seq, Ev::Free { pe })));
-                seq += 1;
+                events.push(SimTime(end), Ev::Free { pe });
             }
         }
     }

@@ -1,16 +1,41 @@
-//! The discrete-event heap: a total order over (time, insertion sequence).
+//! The discrete-event queue: a total order over (time, insertion sequence).
+//!
+//! Two backends share one API and one ordering contract:
+//!
+//! * **Calendar** (default) — a bucket-per-timestamp structure tuned for the
+//!   distributions simulations actually generate: near-monotone inserts and
+//!   heavy same-timestamp ties. A binary heap orders only the *distinct*
+//!   timestamps; all events sharing a timestamp live in one bucket that is
+//!   appended in O(1) and key-sorted lazily (at most once per drain, and only
+//!   when out-of-order keys actually arrived). Popping a whole timestep —
+//!   the engine's batch-dispatch hot path — hands back the bucket in one
+//!   `extend` instead of N heap pops, so the per-event cost no longer pays
+//!   O(log n) against the full event population.
+//! * **Heap** — the original `BinaryHeap` over `(time, key)`. Kept as the
+//!   reference model for the property suite and as a builder-selectable
+//!   fallback, so "new queue vs. old queue" stays a one-flag A/B test.
+//!
+//! Both backends pop in identical `(time, key)` order; replay logs recorded
+//! against one verify byte-for-byte against the other.
 
 use crate::SimTime;
+use fxhash::FxHashMap;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// A deterministic event queue.
 ///
 /// Events with equal timestamps pop in insertion order, which — together
 /// with seeded RNGs everywhere else — makes whole simulations replayable.
 pub struct EventQueue<T> {
-    heap: BinaryHeap<Entry<T>>,
     seq: u64,
+    ops: u64,
+    backend: Backend<T>,
+}
+
+enum Backend<T> {
+    Calendar(Calendar<T>),
+    Heap(BinaryHeap<Entry<T>>),
 }
 
 struct Entry<T> {
@@ -35,20 +60,206 @@ impl<T> Ord for Entry<T> {
     }
 }
 
-impl<T> EventQueue<T> {
-    /// An empty queue.
-    pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
+/// One timestamp's events: appended in arrival order, sorted by key only
+/// when a drain needs the order and an out-of-order key actually arrived.
+///
+/// Jittered-delay workloads (PDES, random networks) produce mostly-distinct
+/// timestamps, so the overwhelmingly common population is exactly one event.
+/// That case is stored inline — no deque allocation, no pool round trip —
+/// and upgraded to a real deque only when a second event lands on the same
+/// timestamp.
+enum Bucket<T> {
+    One(u64, T),
+    Many {
+        items: VecDeque<(u64, T)>,
+        /// `items` is ascending by key. Maintained on push by comparing
+        /// against the current back (cheap: pushes from a monotone sequence
+        /// counter never unsort the bucket); repaired lazily on drain
+        /// otherwise.
+        sorted: bool,
+    },
+}
+
+impl<T> Bucket<T> {
+    fn ensure_sorted(&mut self) {
+        if let Bucket::Many { items, sorted } = self {
+            if !*sorted {
+                items.make_contiguous().sort_unstable_by_key(|e| e.0);
+                *sorted = true;
+            }
         }
     }
 
-    /// An empty queue with room for `cap` events before reallocating.
+    fn len(&self) -> usize {
+        match self {
+            Bucket::One(..) => 1,
+            Bucket::Many { items, .. } => items.len(),
+        }
+    }
+}
+
+struct Calendar<T> {
+    /// Distinct pending timestamps (min-heap). Invariant: `t` is in this
+    /// heap exactly once iff `buckets[t]` exists and is non-empty.
+    times: BinaryHeap<Reverse<u64>>,
+    buckets: FxHashMap<u64, Bucket<T>>,
+    /// Emptied bucket storage, recycled so steady-state push/drain cycles
+    /// allocate nothing.
+    pool: Vec<VecDeque<(u64, T)>>,
+    len: usize,
+}
+
+/// Buckets kept for reuse after they drain. A handful suffices: only a few
+/// distinct timestamps are live at once in practice.
+const BUCKET_POOL_MAX: usize = 32;
+
+impl<T> Calendar<T> {
+    fn with_capacity(cap: usize) -> Self {
+        Calendar {
+            times: BinaryHeap::with_capacity(cap),
+            buckets: FxHashMap::default(),
+            pool: Vec::new(),
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, t: u64, key: u64, payload: T) {
+        use std::collections::hash_map::Entry as MapEntry;
+        self.len += 1;
+        match self.buckets.entry(t) {
+            MapEntry::Occupied(mut e) => match e.get_mut() {
+                b @ Bucket::One(..) => {
+                    // Second event on this timestamp: upgrade to a deque.
+                    // `VecDeque::new()` is allocation-free, so the interim
+                    // placeholder costs nothing.
+                    let placeholder = Bucket::Many { items: VecDeque::new(), sorted: true };
+                    let Bucket::One(k0, p0) = std::mem::replace(b, placeholder) else {
+                        unreachable!()
+                    };
+                    let mut items = self.pool.pop().unwrap_or_default();
+                    let sorted = k0 <= key;
+                    items.push_back((k0, p0));
+                    items.push_back((key, payload));
+                    *b = Bucket::Many { items, sorted };
+                }
+                Bucket::Many { items, sorted } => {
+                    if *sorted {
+                        if let Some(&(back, _)) = items.back() {
+                            if key < back {
+                                *sorted = false;
+                            }
+                        }
+                    }
+                    items.push_back((key, payload));
+                }
+            },
+            MapEntry::Vacant(e) => {
+                e.insert(Bucket::One(key, payload));
+                self.times.push(Reverse(t));
+            }
+        }
+    }
+
+    fn recycle(&mut self, mut items: VecDeque<(u64, T)>) {
+        if self.pool.len() < BUCKET_POOL_MAX {
+            items.clear();
+            self.pool.push(items);
+        }
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64, T)> {
+        let &Reverse(t) = self.times.peek()?;
+        self.len -= 1;
+        match self.buckets.get_mut(&t).expect("bucket for scheduled time") {
+            Bucket::One(..) => {
+                let Bucket::One(key, payload) = self.buckets.remove(&t).expect("just accessed")
+                else {
+                    unreachable!()
+                };
+                self.times.pop();
+                Some((t, key, payload))
+            }
+            b @ Bucket::Many { .. } => {
+                b.ensure_sorted();
+                let Bucket::Many { items, .. } = b else { unreachable!() };
+                let (key, payload) = items.pop_front().expect("non-empty bucket");
+                if items.is_empty() {
+                    let Bucket::Many { items, .. } =
+                        self.buckets.remove(&t).expect("just accessed")
+                    else {
+                        unreachable!()
+                    };
+                    self.recycle(items);
+                    self.times.pop();
+                }
+                Some((t, key, payload))
+            }
+        }
+    }
+
+    /// Remove and return the whole bucket at the head timestamp `t`, key-
+    /// sorted. Caller guarantees `t` is the head.
+    fn take_head_bucket(&mut self, t: u64) -> Bucket<T> {
+        let mut b = self.buckets.remove(&t).expect("head bucket");
+        b.ensure_sorted();
+        self.times.pop();
+        self.len -= b.len();
+        b
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue (calendar-backed).
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty queue with room for `cap` distinct timestamps before
+    /// reallocating.
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
             seq: 0,
+            ops: 0,
+            backend: Backend::Calendar(Calendar::with_capacity(cap)),
+        }
+    }
+
+    /// An empty queue on the classic `BinaryHeap` backend — the reference
+    /// model for the property suite and the A/B fallback for regression
+    /// hunting. Ordering is identical to the calendar backend.
+    pub fn heap_backed() -> Self {
+        Self::heap_backed_with_capacity(0)
+    }
+
+    /// [`heap_backed`](Self::heap_backed) with pre-allocated room for `cap`
+    /// events.
+    pub fn heap_backed_with_capacity(cap: usize) -> Self {
+        EventQueue {
+            seq: 0,
+            ops: 0,
+            backend: Backend::Heap(BinaryHeap::with_capacity(cap)),
+        }
+    }
+
+    /// Is this queue on the classic heap backend?
+    pub fn is_heap_backed(&self) -> bool {
+        matches!(self.backend, Backend::Heap(_))
+    }
+
+    /// Queue operations performed so far (one per push, one per popped
+    /// event). Feeds the engine's `queue_ops` throughput counter.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    fn insert(&mut self, time: SimTime, key: u64, payload: T) {
+        self.ops += 1;
+        match &mut self.backend {
+            Backend::Calendar(c) => c.push(time.0, key, payload),
+            Backend::Heap(h) => h.push(Entry {
+                key: Reverse((time, key)),
+                payload,
+            }),
         }
     }
 
@@ -56,10 +267,7 @@ impl<T> EventQueue<T> {
     pub fn push(&mut self, time: SimTime, payload: T) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry {
-            key: Reverse((time, seq)),
-            payload,
-        });
+        self.insert(time, seq, payload);
     }
 
     /// Schedule `payload` at `time` under a caller-supplied tie-break key.
@@ -72,20 +280,27 @@ impl<T> EventQueue<T> {
     /// live entries; mixing `push` and `push_keyed` in one queue is allowed
     /// only if the caller keeps the two key spaces disjoint.
     pub fn push_keyed(&mut self, time: SimTime, key: u64, payload: T) {
-        self.heap.push(Entry {
-            key: Reverse((time, key)),
-            payload,
-        });
+        self.insert(time, key, payload);
     }
 
     /// Remove and return the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
-        self.heap.pop().map(|e| (e.key.0 .0, e.payload))
+        let out = match &mut self.backend {
+            Backend::Calendar(c) => c.pop().map(|(t, _, p)| (SimTime(t), p)),
+            Backend::Heap(h) => h.pop().map(|e| (e.key.0 .0, e.payload)),
+        };
+        if out.is_some() {
+            self.ops += 1;
+        }
+        out
     }
 
     /// Timestamp of the earliest event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.key.0 .0)
+        match &self.backend {
+            Backend::Calendar(c) => c.times.peek().map(|&Reverse(t)| SimTime(t)),
+            Backend::Heap(h) => h.peek().map(|e| e.key.0 .0),
+        }
     }
 
     /// Pop every event scheduled exactly at `t`, in insertion order.
@@ -106,12 +321,27 @@ impl<T> EventQueue<T> {
     /// first.
     pub fn pop_batch_at_into(&mut self, t: SimTime, out: &mut Vec<T>) {
         out.clear();
-        while let Some(head) = self.heap.peek() {
-            if head.key.0 .0 != t {
-                break;
-            }
-            out.push(self.heap.pop().expect("peeked").payload);
+        if self.peek_time() != Some(t) {
+            return;
         }
+        match &mut self.backend {
+            Backend::Calendar(c) => match c.take_head_bucket(t.0) {
+                Bucket::One(_, p) => out.push(p),
+                Bucket::Many { mut items, .. } => {
+                    out.extend(items.drain(..).map(|(_, p)| p));
+                    c.recycle(items);
+                }
+            },
+            Backend::Heap(h) => {
+                while let Some(head) = h.peek() {
+                    if head.key.0 .0 != t {
+                        break;
+                    }
+                    out.push(h.pop().expect("peeked").payload);
+                }
+            }
+        }
+        self.ops += out.len() as u64;
     }
 
     /// [`pop_batch_at_into`](Self::pop_batch_at_into), but each payload is
@@ -119,13 +349,28 @@ impl<T> EventQueue<T> {
     /// be [`restore`](Self::restore)d in exactly their original position.
     pub fn pop_batch_at_seq_into(&mut self, t: SimTime, out: &mut Vec<(u64, T)>) {
         out.clear();
-        while let Some(head) = self.heap.peek() {
-            if head.key.0 .0 != t {
-                break;
-            }
-            let e = self.heap.pop().expect("peeked");
-            out.push((e.key.0 .1, e.payload));
+        if self.peek_time() != Some(t) {
+            return;
         }
+        match &mut self.backend {
+            Backend::Calendar(c) => match c.take_head_bucket(t.0) {
+                Bucket::One(k, p) => out.push((k, p)),
+                Bucket::Many { mut items, .. } => {
+                    out.extend(items.drain(..));
+                    c.recycle(items);
+                }
+            },
+            Backend::Heap(h) => {
+                while let Some(head) = h.peek() {
+                    if head.key.0 .0 != t {
+                        break;
+                    }
+                    let e = h.pop().expect("peeked");
+                    out.push((e.key.0 .1, e.payload));
+                }
+            }
+        }
+        self.ops += out.len() as u64;
     }
 
     /// Re-insert an entry obtained from
@@ -135,25 +380,40 @@ impl<T> EventQueue<T> {
     /// event pushed since the batch was taken. The caller must only pass
     /// keys it popped (reusing a live key would break the total order).
     pub fn restore(&mut self, t: SimTime, seq: u64, payload: T) {
-        self.heap.push(Entry {
-            key: Reverse((t, seq)),
-            payload,
-        });
+        self.insert(t, seq, payload);
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Calendar(c) => c.len,
+            Backend::Heap(h) => h.len(),
+        }
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
-    /// Current allocated capacity of the underlying heap.
+    /// Current allocated capacity, in entries, across the queue's internal
+    /// storage (timestamp index, live buckets, and the recycled-bucket pool
+    /// on the calendar backend; the heap itself on the heap backend).
     pub fn capacity(&self) -> usize {
-        self.heap.capacity()
+        match &self.backend {
+            Backend::Calendar(c) => {
+                c.times.capacity()
+                    + c.buckets
+                        .values()
+                        .map(|b| match b {
+                            Bucket::One(..) => 1,
+                            Bucket::Many { items, .. } => items.capacity(),
+                        })
+                        .sum::<usize>()
+                    + c.pool.iter().map(|v| v.capacity()).sum::<usize>()
+            }
+            Backend::Heap(h) => h.capacity(),
+        }
     }
 
     /// Remove every pending entry with its `(time, key)` coordinates, in
@@ -161,10 +421,20 @@ impl<T> EventQueue<T> {
     /// entries elsewhere with [`push_keyed`](Self::push_keyed) preserves the
     /// total order.
     pub fn drain_entries(&mut self) -> Vec<(SimTime, u64, T)> {
-        let mut out = Vec::with_capacity(self.heap.len());
-        while let Some(e) = self.heap.pop() {
-            out.push((e.key.0 .0, e.key.0 .1, e.payload));
+        let mut out = Vec::with_capacity(self.len());
+        match &mut self.backend {
+            Backend::Calendar(c) => {
+                while let Some((t, k, p)) = c.pop() {
+                    out.push((SimTime(t), k, p));
+                }
+            }
+            Backend::Heap(h) => {
+                while let Some(e) = h.pop() {
+                    out.push((e.key.0 .0, e.key.0 .1, e.payload));
+                }
+            }
         }
+        self.ops += out.len() as u64;
         out
     }
 
@@ -182,15 +452,151 @@ impl<T> EventQueue<T> {
     /// released; a modest working buffer is kept so clear-then-refill
     /// cycles don't pay reallocation from zero.
     pub fn clear(&mut self) {
-        self.heap.clear();
         self.seq = 0;
-        if self.heap.capacity() > Self::CLEAR_RETAIN_CAP {
-            self.heap.shrink_to(Self::CLEAR_RETAIN_CAP);
+        match &mut self.backend {
+            Backend::Calendar(c) => {
+                let retain = Self::CLEAR_RETAIN_CAP / 2;
+                for (_, b) in c.buckets.drain() {
+                    if let Bucket::Many { mut items, .. } = b {
+                        if c.pool.len() < BUCKET_POOL_MAX {
+                            items.clear();
+                            c.pool.push(items);
+                        }
+                    }
+                }
+                c.times.clear();
+                c.len = 0;
+                if c.times.capacity() > retain {
+                    c.times.shrink_to(retain);
+                }
+                // Bound the recycled-bucket pool the same way.
+                while c.pool.iter().map(|v| v.capacity()).sum::<usize>() > retain {
+                    c.pool.pop();
+                }
+            }
+            Backend::Heap(h) => {
+                h.clear();
+                if h.capacity() > Self::CLEAR_RETAIN_CAP {
+                    h.shrink_to(Self::CLEAR_RETAIN_CAP);
+                }
+            }
         }
     }
 }
 
 impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A deterministic priority queue with FIFO order inside each priority
+/// class — the PE scheduler queue.
+///
+/// The engine's per-PE pending queues used to be `BinaryHeap<(prio, seq)>`;
+/// but the sequence numbers pushed into any one queue come from a globally
+/// monotone message counter, so FIFO-within-priority *is* `(prio, seq)`
+/// order. This structure exploits that: a short sorted list of the distinct
+/// active priorities (almost always 1–2: system and default) selects a
+/// per-priority `VecDeque` lane, making push and pop O(1) instead of
+/// O(log queue-depth).
+pub struct PrioQueue<T> {
+    /// Parallel arrays: the distinct active priorities, sorted descending —
+    /// the minimum (highest-urgency, pops first) sits at the back — and
+    /// their FIFO lanes. A sorted `Vec` beats a hash map here: almost every
+    /// push hits the priority already at the back, so the common path is a
+    /// single integer compare with no hashing at all.
+    prios: Vec<i64>,
+    lanes: Vec<VecDeque<T>>,
+    /// Drained lane storage, recycled so push/pop cycles allocate nothing.
+    pool: Vec<VecDeque<T>>,
+    len: usize,
+    ops: u64,
+}
+
+/// Lanes kept for reuse after they drain; a few distinct priorities are
+/// ever live at once.
+const LANE_POOL_MAX: usize = 8;
+
+impl<T> PrioQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        PrioQueue {
+            prios: Vec::new(),
+            lanes: Vec::new(),
+            pool: Vec::new(),
+            len: 0,
+            ops: 0,
+        }
+    }
+
+    /// Append `v` to the `prio` class. Smaller `prio` values pop first;
+    /// equal priorities pop in insertion order.
+    pub fn push(&mut self, prio: i64, v: T) {
+        self.ops += 1;
+        self.len += 1;
+        // Fast path: the class already active at the back (the common
+        // single-priority case).
+        if self.prios.last() == Some(&prio) {
+            self.lanes.last_mut().expect("lane per prio").push_back(v);
+            return;
+        }
+        let pos = self.prios.partition_point(|&p| p > prio);
+        if self.prios.get(pos) == Some(&prio) {
+            self.lanes[pos].push_back(v);
+        } else {
+            let mut lane = self.pool.pop().unwrap_or_default();
+            lane.push_back(v);
+            self.prios.insert(pos, prio);
+            self.lanes.insert(pos, lane);
+        }
+    }
+
+    /// Remove and return the front of the lowest-priority-value class.
+    pub fn pop(&mut self) -> Option<T> {
+        let lane = self.lanes.last_mut()?;
+        let v = lane.pop_front().expect("non-empty lane");
+        if lane.is_empty() {
+            self.prios.pop();
+            let lane = self.lanes.pop().expect("lane per prio");
+            if self.pool.len() < LANE_POOL_MAX {
+                self.pool.push(lane);
+            }
+        }
+        self.len -= 1;
+        self.ops += 1;
+        Some(v)
+    }
+
+    /// Queued item count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queue operations performed so far (one per push, one per pop).
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Drop everything (lane storage is retained for reuse).
+    pub fn clear(&mut self) {
+        for mut lane in self.lanes.drain(..) {
+            lane.clear();
+            if self.pool.len() < LANE_POOL_MAX {
+                self.pool.push(lane);
+            }
+        }
+        self.prios.clear();
+        self.len = 0;
+    }
+}
+
+impl<T> Default for PrioQueue<T> {
     fn default() -> Self {
         Self::new()
     }
@@ -377,6 +783,18 @@ mod tests {
     }
 
     #[test]
+    fn heap_backend_clear_releases_capacity_too() {
+        let mut q = EventQueue::heap_backed();
+        let n = EventQueue::<u64>::CLEAR_RETAIN_CAP * 4;
+        for i in 0..n as u64 {
+            q.push(SimTime::from_nanos(i), i);
+        }
+        assert!(q.capacity() >= n);
+        q.clear();
+        assert!(q.capacity() <= EventQueue::<u64>::CLEAR_RETAIN_CAP);
+    }
+
+    #[test]
     fn with_capacity_behaves_like_new() {
         let mut q = EventQueue::with_capacity(64);
         assert!(q.is_empty());
@@ -384,5 +802,65 @@ mod tests {
         q.push(SimTime::from_nanos(1), "a");
         assert_eq!(q.pop().unwrap().1, "a");
         assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn interleaved_pops_and_same_time_pushes_order_by_key() {
+        // Partial single-pop drain of a bucket, then more keyed pushes at
+        // the same timestamp, including one that must pop *before* the
+        // bucket's remaining entries.
+        let t = SimTime::from_nanos(9);
+        let mut q = EventQueue::new();
+        q.push_keyed(t, 10, "k10");
+        q.push_keyed(t, 30, "k30");
+        q.push_keyed(t, 50, "k50");
+        assert_eq!(q.pop().unwrap().1, "k10");
+        q.push_keyed(t, 20, "k20"); // out of order vs. remaining {30, 50}
+        q.push_keyed(t, 40, "k40");
+        assert_eq!(q.pop().unwrap().1, "k20");
+        assert_eq!(q.pop().unwrap().1, "k30");
+        assert_eq!(q.pop().unwrap().1, "k40");
+        assert_eq!(q.pop().unwrap().1, "k50");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ops_counts_pushes_and_pops() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(1), 1);
+        q.push(SimTime::from_nanos(1), 2);
+        let _ = q.pop_batch_at(SimTime::from_nanos(1));
+        assert_eq!(q.ops(), 4);
+    }
+
+    #[test]
+    fn prio_queue_orders_by_prio_then_fifo() {
+        let mut q = PrioQueue::new();
+        q.push(0, "u1");
+        q.push(i64::MIN + 1, "sys1");
+        q.push(0, "u2");
+        q.push(5, "low");
+        q.push(i64::MIN + 1, "sys2");
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.pop(), Some("sys1"));
+        assert_eq!(q.pop(), Some("sys2"));
+        assert_eq!(q.pop(), Some("u1"));
+        assert_eq!(q.pop(), Some("u2"));
+        assert_eq!(q.pop(), Some("low"));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn prio_queue_clear_then_reuse() {
+        let mut q = PrioQueue::new();
+        q.push(3, 1);
+        q.push(-1, 2);
+        q.clear();
+        assert!(q.is_empty());
+        q.push(7, 9);
+        q.push(2, 8);
+        assert_eq!(q.pop(), Some(8));
+        assert_eq!(q.pop(), Some(9));
     }
 }

@@ -35,7 +35,7 @@ pub mod topology;
 
 pub use dagsim::{simulate_dag, DagEdge, DagNode, DagSimResult};
 pub use disk::{DiskFault, DiskModel};
-pub use events::EventQueue;
+pub use events::{EventQueue, PrioQueue};
 pub use failure::{Failure, FailureKind, FailurePlan};
 pub use network::{NetCounters, NetworkModel, NetworkParams};
 pub use rss::{current_rss_bytes, peak_rss_bytes};

@@ -168,6 +168,125 @@ proptest! {
         }
         prop_assert_eq!(count, times.len());
     }
+
+    /// The calendar backend is observationally identical to the classic
+    /// binary-heap backend — same pop order, same peeks, same lengths —
+    /// under arbitrary interleavings of pushes (heavy same-timestamp ties),
+    /// caller-keyed pushes (out-of-order keys), single pops, whole-timestep
+    /// batch pops with partial restore, and clears (which reset the
+    /// tie-break sequence on both).
+    #[test]
+    fn calendar_matches_heap_reference(ops in vec(queue_op(), 0..120)) {
+        let mut cal = EventQueue::new();
+        let mut heap = EventQueue::heap_backed();
+        prop_assert!(!cal.is_heap_backed());
+        prop_assert!(heap.is_heap_backed());
+        // Payload counter; doubles as the caller-key counter for
+        // `push_keyed` (offset far above any internal sequence number, so
+        // the two key spaces stay disjoint as the contract requires).
+        let mut n = 0u64;
+        for op in ops {
+            match op {
+                QueueOp::Push(dt) => {
+                    // A tiny time range forces heavy ties (deep buckets).
+                    let t = SimTime::from_nanos(dt as u64 % 8);
+                    cal.push(t, n);
+                    heap.push(t, n);
+                    n += 1;
+                }
+                QueueOp::PushKeyed(dt) => {
+                    let t = SimTime::from_nanos(dt as u64 % 8);
+                    let key = (1u64 << 40) + n;
+                    cal.push_keyed(t, key, n);
+                    heap.push_keyed(t, key, n);
+                    n += 1;
+                }
+                QueueOp::Pop => {
+                    prop_assert_eq!(cal.pop(), heap.pop());
+                }
+                QueueOp::Batch => {
+                    prop_assert_eq!(cal.peek_time(), heap.peek_time());
+                    if let Some(t) = cal.peek_time() {
+                        let (mut a, mut b) = (Vec::new(), Vec::new());
+                        cal.pop_batch_at_seq_into(t, &mut a);
+                        heap.pop_batch_at_seq_into(t, &mut b);
+                        prop_assert_eq!(&a, &b);
+                        // Restore every other entry under its original key:
+                        // both backends must slot them back identically.
+                        for (i, &(k, p)) in a.iter().enumerate() {
+                            if i % 2 == 1 {
+                                cal.restore(t, k, p);
+                                heap.restore(t, k, p);
+                            }
+                        }
+                    }
+                }
+                QueueOp::Clear => {
+                    cal.clear();
+                    heap.clear();
+                }
+            }
+            prop_assert_eq!(cal.len(), heap.len());
+            prop_assert_eq!(cal.peek_time(), heap.peek_time());
+        }
+        // Full drain pops the exact same (time, payload) sequence.
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}
+
+/// One scripted operation against both event-queue backends at once.
+#[derive(Debug, Clone)]
+enum QueueOp {
+    Push(u8),
+    PushKeyed(u8),
+    Pop,
+    Batch,
+    Clear,
+}
+
+fn queue_op() -> impl Strategy<Value = QueueOp> {
+    (0u8..12, any::<u8>()).prop_map(|(which, dt)| match which {
+        0..=3 => QueueOp::Push(dt),
+        4..=5 => QueueOp::PushKeyed(dt),
+        6..=8 => QueueOp::Pop,
+        9..=10 => QueueOp::Batch,
+        _ => QueueOp::Clear,
+    })
+}
+
+/// `clear` bounds retained capacity on both backends, so long campaigns of
+/// many simulations don't pin the high-water mark forever.
+#[test]
+fn event_queue_clear_caps_capacity() {
+    for mut q in [EventQueue::new(), EventQueue::heap_backed()] {
+        // A wide spread of distinct timestamps plus one very deep bucket.
+        for i in 0..50_000u64 {
+            q.push(SimTime::from_nanos(i), i);
+            q.push(SimTime::from_nanos(7), i);
+        }
+        q.clear();
+        assert!(q.is_empty());
+        assert!(
+            q.capacity() <= EventQueue::<u64>::CLEAR_RETAIN_CAP,
+            "retained {} entries of capacity after clear",
+            q.capacity()
+        );
+        // And the sequence counter reset: a cleared queue orders same-time
+        // pushes exactly like a fresh one.
+        let t = SimTime::from_nanos(3);
+        for i in 0..10u64 {
+            q.push(t, i);
+        }
+        for i in 0..10u64 {
+            assert_eq!(q.pop().expect("pushed").1, i);
+        }
+    }
 }
 
 #[test]

@@ -39,14 +39,19 @@ for w in doc["workloads"]:
     assert w["wall_s"] > 0, f"{w['name']}: zero wall time"
     assert w["events_per_sec"] > 0, f"{w['name']}: zero throughput"
 
-# The PR 4 hot-path work must not rot away entirely. The exact multiplier
-# is host-load sensitive (a loaded CI box reads ~30% below a quiet one),
-# so the floor sits well under the ~1.5-2.2x the optimization measures.
-pp = next(w for w in doc["workloads"] if w["name"] == "ping_pipe")
-assert pp["speedup_vs_baseline"] >= 1.2, (
-    f"ping_pipe speedup regressed below the 1.2x floor: "
-    f"{pp['speedup_vs_baseline']:.2f}x"
+# The hot-path work must not rot away. Validate the *whole matrix*: the
+# geometric mean of speedup-vs-baseline across all five workloads, not a
+# single flattering workload. The committed record shows >= 1.35x; the
+# floor sits lower because future re-measurements happen on 1-core CI
+# hosts where steal-time noise can shave ~10-20% off any single run.
+import math
+speedups = {w["name"]: w["speedup_vs_baseline"] for w in doc["workloads"]}
+geomean = math.exp(sum(math.log(s) for s in speedups.values()) / len(speedups))
+assert geomean >= 1.25, (
+    f"five-workload geomean speedup regressed below the 1.25x floor: "
+    f"{geomean:.2f}x ({', '.join(f'{n} {s:.2f}x' for n, s in sorted(speedups.items()))})"
 )
+pp = next(w for w in doc["workloads"] if w["name"] == "ping_pipe")
 
 # Multi-worker scaling entries: right workloads, right thread matrix, sane
 # numbers, and the parallel engine actually engaged at every threads>1
@@ -69,7 +74,8 @@ for name, s in scaling.items():
     assert abs(base["speedup_vs_seq"] - 1.0) < 1e-9, f"{name}: seq point not 1.0x"
 
 print(f"BENCH_engine.json ok: {len(doc['workloads'])} workloads, "
-      f"ping_pipe {pp['speedup_vs_baseline']:.2f}x vs pre-opt baseline, "
+      f"geomean {geomean:.2f}x vs pre-opt baseline "
+      f"(ping_pipe {pp['speedup_vs_baseline']:.2f}x), "
       f"{len(scaling)} parallel-scaling matrices on {doc['host_cores']} core(s)")
 PYEOF
 

@@ -1,10 +1,11 @@
 #!/bin/sh
 # Single-entry CI gate: release build, full test suite, clippy (warnings
-# are errors, all crates), and the six end-to-end smokes (tracing,
-# record/replay, engine throughput, the elastic controller, streaming
-# observability at scale, and the charm-kv serving workload — the last
-# four also validate the committed BENCH_engine.json / BENCH_elastic.json
-# / BENCH_scale.json / BENCH_service.json).
+# are errors, all crates), and the seven end-to-end smokes (tracing,
+# record/replay, engine throughput, runtime overhead/METG, the elastic
+# controller, streaming observability at scale, and the charm-kv serving
+# workload — the last five also validate the committed BENCH_engine.json /
+# BENCH_overhead.json / BENCH_elastic.json / BENCH_scale.json /
+# BENCH_service.json).
 # Exits non-zero on the first failure.
 set -eu
 cd "$(dirname "$0")/.."
@@ -26,6 +27,9 @@ sh scripts/replay_smoke.sh
 
 echo "==> bench smoke"
 sh scripts/bench_smoke.sh
+
+echo "==> overhead smoke"
+sh scripts/overhead_smoke.sh
 
 echo "==> elastic smoke"
 sh scripts/elastic_smoke.sh

@@ -1,0 +1,68 @@
+#!/bin/sh
+# Runtime-overhead (METG) smoke test: run the Task-Bench-style sweep in
+# --smoke mode (~1 s; every point self-checks same-seed determinism
+# digests), then validate the committed BENCH_overhead.json — schema, the
+# METG(50%) = min-over-sweep invariant, and instrumentation monotonicity
+# (tracing or recording can never be *cheaper* than off, modulo host
+# noise). CI fails if the overhead record is missing or malformed.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo run --release -q -p charm-bench --bin overhead_bench -- --smoke
+
+python3 - <<'PYEOF'
+import json
+
+with open("BENCH_overhead.json") as f:
+    doc = json.load(f)
+
+for k in ["bench", "mode", "note", "host_cores", "pes", "configs"]:
+    assert k in doc, f"BENCH_overhead.json missing top-level key {k!r}"
+assert doc["bench"] == "overhead", f"unexpected bench id {doc['bench']!r}"
+assert doc["host_cores"] >= 1, "host_cores must be recorded"
+
+configs = {c["name"]: c for c in doc["configs"]}
+assert len(configs) >= 3, f"need >= 3 instrumentation configs, got {len(configs)}"
+assert "baseline" in configs, "baseline (tracing off, recording off) config required"
+
+for name, c in configs.items():
+    for k in ["tracing", "recording", "points", "metg_50_ns", "overhead_vs_baseline"]:
+        assert k in c, f"config {name!r} missing {k!r}"
+    assert len(c["points"]) >= 3, f"{name}: need >= 3 sweep points"
+    densities = [p["tasks_per_pe_per_step"] for p in c["points"]]
+    assert densities == sorted(densities) and len(set(densities)) == len(densities), (
+        f"{name}: density axis must be strictly increasing, got {densities}"
+    )
+    for p in c["points"]:
+        for k in ["tasks_per_pe_per_step", "tasks", "wall_s", "ns_per_task"]:
+            assert k in p, f"{name}: point missing {k!r}"
+        assert p["tasks"] > 0 and p["wall_s"] > 0 and p["ns_per_task"] > 0, (
+            f"{name}: degenerate point {p}"
+        )
+    # METG(50%) is by definition the best per-task overhead over the sweep.
+    best = min(p["ns_per_task"] for p in c["points"])
+    assert abs(c["metg_50_ns"] - best) <= 1e-6 * best + 0.1, (
+        f"{name}: metg_50_ns={c['metg_50_ns']} != min(ns_per_task)={best}"
+    )
+
+# Monotonicity along the instrumentation ladder: turning observability ON
+# cannot beat having it off. 15% tolerance absorbs 1-core host noise.
+base = configs["baseline"]["metg_50_ns"]
+for name, c in configs.items():
+    if name == "baseline":
+        assert abs(c["overhead_vs_baseline"] - 1.0) < 1e-9, "baseline must be 1.0x"
+        continue
+    assert c["metg_50_ns"] >= base * 0.85, (
+        f"{name}: METG {c['metg_50_ns']:.0f} ns below baseline {base:.0f} ns — "
+        "instrumentation cannot be cheaper than off"
+    )
+    ratio = c["metg_50_ns"] / base
+    assert abs(c["overhead_vs_baseline"] - ratio) < 0.01, (
+        f"{name}: overhead_vs_baseline={c['overhead_vs_baseline']} != recomputed {ratio:.3f}"
+    )
+
+print(f"BENCH_overhead.json ok: {len(configs)} configs, baseline METG(50%) "
+      f"{base:.0f} ns/task on {doc['host_cores']} core(s)")
+PYEOF
+
+echo "overhead smoke test passed"
