@@ -59,6 +59,9 @@ pub struct PdesConfig {
     /// Run on the classic (pre-overhaul) engine hot path: binary-heap
     /// event queue, no arena recycling. A/B regression knob.
     pub classic_hotpath: bool,
+    /// Force the sharded engine's global-window lockstep fallback instead
+    /// of the adaptive per-shard-pair lookahead. A/B regression knob.
+    pub global_window: bool,
 }
 
 impl Default for PdesConfig {
@@ -78,6 +81,7 @@ impl Default for PdesConfig {
             trace: None,
             threads: 1,
             classic_hotpath: false,
+            global_window: false,
         }
     }
 }
@@ -378,7 +382,8 @@ pub fn run_with_runtime(mut config: PdesConfig) -> (PdesRun, Runtime) {
     ))
     .seed(config.seed)
     .threads(config.threads)
-    .classic_hotpath(config.classic_hotpath);
+    .classic_hotpath(config.classic_hotpath)
+    .global_window(config.global_window);
     if let Some(rc) = config.record.take() {
         b = b.record(rc);
     }

@@ -59,6 +59,9 @@ pub struct StencilConfig {
     /// Run on the classic (pre-overhaul) engine hot path: binary-heap
     /// event queue, no arena recycling. A/B regression knob.
     pub classic_hotpath: bool,
+    /// Force the sharded engine's global-window lockstep fallback instead
+    /// of the adaptive per-shard-pair lookahead. A/B regression knob.
+    pub global_window: bool,
 }
 
 impl StencilConfig {
@@ -87,6 +90,7 @@ impl StencilConfig {
             trace_sinks: Vec::new(),
             threads: 1,
             classic_hotpath: false,
+            global_window: false,
         }
     }
 }
@@ -298,6 +302,7 @@ pub fn run_with_runtime(mut config: StencilConfig) -> (AppRun, Runtime) {
     .dvfs_period(config.dvfs_period)
     .threads(config.threads)
     .classic_hotpath(config.classic_hotpath)
+    .global_window(config.global_window)
     .lb_trigger(LbTrigger::AtSync);
     if let Some(s) = config.strategy.take() {
         b = b.strategy(s);

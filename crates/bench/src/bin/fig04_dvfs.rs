@@ -40,6 +40,7 @@ fn config(scheme: DvfsScheme, with_lb: bool, scale: Scale) -> StencilConfig {
         trace_sinks: Vec::new(),
         threads: 1,
         classic_hotpath: false,
+        global_window: false,
     }
 }
 

@@ -275,6 +275,22 @@ pub struct RunSummary {
     /// Global-allocator calls the arena absorbed (pool hits on allocation
     /// plus recycled frees). Zero when built with `classic_hotpath(true)`.
     pub alloc_bypass: u64,
+    /// Lookahead windows committed by the engine: every time a drain
+    /// horizon advanced (sequential window jumps, parallel per-shard
+    /// horizon grants). Summed over shards in parallel mode.
+    pub windows_executed: u64,
+    /// Blocking synchronizations actually paid: condvar barrier arrivals
+    /// in the global-window engine, parked waits in the adaptive engine.
+    /// Always 0 for a sequential run.
+    pub barriers_waited: u64,
+    /// Window edges crossed *without* blocking: horizon advances the
+    /// adaptive engine granted from peer clocks alone where the
+    /// global-window engine would have paid a barrier. 0 sequentially.
+    pub barriers_elided: u64,
+    /// Mean committed-horizon advance in ns (total virtual time covered by
+    /// windows / `windows_executed`). The global worst case is `win_ns`
+    /// (one α cell); adaptive windows should be wider on sparse traffic.
+    pub avg_window_width: f64,
 }
 
 /// A failure (or cascade) destroyed state that no surviving checkpoint
@@ -330,6 +346,7 @@ pub struct RuntimeBuilder {
     threads: usize,
     elastic: Option<crate::elastic::ElasticConfig>,
     classic_hotpath: bool,
+    global_window: bool,
 }
 
 impl RuntimeBuilder {
@@ -478,6 +495,19 @@ impl RuntimeBuilder {
     /// A/B the two hot paths against the same golden recordings.
     pub fn classic_hotpath(mut self, classic: bool) -> Self {
         self.classic_hotpath = classic;
+        self
+    }
+
+    /// Run parallel workers on the PR-5-era global-window engine: every
+    /// shard drains the same α-sized window and synchronizes at a full
+    /// condvar barrier per window edge, instead of the adaptive per-shard
+    /// horizons with elided barriers. Results are byte-identical by
+    /// contract — the knob exists so regression tests (and bisection) can
+    /// A/B the two synchronization cores against the same goldens, exactly
+    /// like [`classic_hotpath`](Self::classic_hotpath) does for the event
+    /// queue. No effect on sequential runs.
+    pub fn global_window(mut self, global: bool) -> Self {
+        self.global_window = global;
         self
     }
 
@@ -635,6 +665,12 @@ impl RuntimeBuilder {
             arena_enabled: !self.classic_hotpath,
             arena_base: crate::arena::stats(),
             entry_name_cache: FxHashMap::default(),
+            global_window: self.global_window,
+            sync_windows: 0,
+            sync_width_ns: 0,
+            sync_waits: 0,
+            sync_elided: 0,
+            cb_log: None,
         }
     }
 }
@@ -784,6 +820,24 @@ pub struct Runtime {
     /// Recorder entry names per (array, entry kind), built once instead of
     /// `format!`-allocated on every recorded execution.
     pub(crate) entry_name_cache: FxHashMap<(u32, &'static str), String>,
+    /// Force parallel workers onto the global-window (full-barrier) engine
+    /// ([`RuntimeBuilder::global_window`]); A/B fallback for the adaptive
+    /// per-shard-pair lookahead core.
+    pub(crate) global_window: bool,
+    /// Lookahead windows committed (drain-horizon advances) — see
+    /// [`RunSummary::windows_executed`].
+    pub(crate) sync_windows: u64,
+    /// Total committed-horizon advance in ns, for `avg_window_width`.
+    pub(crate) sync_width_ns: u64,
+    /// Blocking waits paid (barrier arrivals / parked waits).
+    pub(crate) sync_waits: u64,
+    /// Window edges crossed without blocking (adaptive engine only).
+    pub(crate) sync_elided: u64,
+    /// When `Some`, [`Runtime::deliver_sys_tree`] logs every scheduled
+    /// delivery time into it. The adaptive parallel folder arms this
+    /// around reduction folds to learn which α-cells hold completion
+    /// callbacks (its soft-rendezvous points); `None` everywhere else.
+    pub(crate) cb_log: Option<Vec<u64>>,
 }
 
 impl Runtime {
@@ -809,6 +863,7 @@ impl Runtime {
             threads: crate::parallel::default_threads(),
             elastic: None,
             classic_hotpath: false,
+            global_window: false,
         }
     }
 
@@ -1117,6 +1172,14 @@ impl Runtime {
         self.threads = n.max(1);
     }
 
+    /// Force the sharded engine onto the global-window lockstep fallback
+    /// (the pre-adaptive synchronization scheme). A/B knob: both engines
+    /// are byte-identical to sequential, so flipping this may only change
+    /// wall-clock time and the window counters, never results.
+    pub fn set_global_window(&mut self, on: bool) {
+        self.global_window = on;
+    }
+
     /// Schedule a malleable reconfiguration (shrink or expand) at `at`.
     pub fn schedule_reconfigure(&mut self, at: SimTime, to_pes: usize) {
         assert!(to_pes >= 1 && to_pes <= self.machine.num_pes);
@@ -1184,13 +1247,19 @@ impl Runtime {
                 // to the one containing `t`. With α-sized windows this is
                 // the common case and keeps boundary cost off the hot path.
                 if self.pending_contribs.is_empty() && !self.digest_due() {
-                    self.cur_win_end = self.win_end_after(t);
+                    let w = self.win_end_after(t);
+                    self.sync_windows += 1;
+                    self.sync_width_ns += w.0.saturating_sub(self.cur_win_end.0);
+                    self.cur_win_end = w;
                 } else {
                     self.boundary_work();
                     // The fold may have scheduled callbacks earlier than
                     // `t`; re-aim the window at the true next event.
                     if let Some(t2) = self.events.peek_time() {
-                        self.cur_win_end = self.win_end_after(t2);
+                        let w = self.win_end_after(t2);
+                        self.sync_windows += 1;
+                        self.sync_width_ns += w.0.saturating_sub(self.cur_win_end.0);
+                        self.cur_win_end = w;
                     }
                     continue;
                 }
@@ -1352,6 +1421,14 @@ impl Runtime {
             alloc_bypass: crate::arena::stats()
                 .bypass
                 .saturating_sub(self.arena_base.bypass),
+            windows_executed: self.sync_windows,
+            barriers_waited: self.sync_waits,
+            barriers_elided: self.sync_elided,
+            avg_window_width: if self.sync_windows > 0 {
+                self.sync_width_ns as f64 / self.sync_windows as f64
+            } else {
+                0.0
+            },
         }
     }
 
@@ -2219,6 +2296,9 @@ impl Runtime {
         let local = self.net.params().local_delivery;
         if let Some(tr) = &mut self.tracer {
             tr.on_msg_latency(local);
+        }
+        if let Some(log) = &mut self.cb_log {
+            log.push((at + local).0);
         }
         self.sched_deliver(at + local, pe, env);
     }

@@ -1899,6 +1899,17 @@ impl Runtime {
             "-- queues: {} op(s); arena: {} B recycled, {} allocator call(s) bypassed",
             s.queue_ops, s.arena_bytes, s.alloc_bypass
         );
+        // Window-adaptivity footer: how often the sharded engine advanced,
+        // how often it actually blocked, and how many α-cell edges it
+        // crossed for free — the observable for the adaptive-lookahead work.
+        let _ = writeln!(
+            out,
+            "-- windows: {} executed, avg width {}, {} wait(s), {} barrier(s) elided",
+            s.windows_executed,
+            fmt_secs(s.avg_window_width / 1e9),
+            s.barriers_waited,
+            s.barriers_elided
+        );
         Some(out)
     }
 }

@@ -213,6 +213,27 @@ impl NetworkModel {
     pub fn send_overhead(&self) -> SimTime {
         self.params.injection_overhead
     }
+
+    /// Lower bound of [`delay`](Self::delay) for the *specific* remote pair
+    /// `(src, dst)`, over every byte count and jitter draw. On a torus this
+    /// includes the pair's hop distance, so far-apart PEs get a strictly
+    /// wider bound than [`min_remote_delay`](Self::min_remote_delay) — the
+    /// per-shard-pair lookahead the sharded engine widens its windows with.
+    /// `src == dst` reports the local-delivery cost.
+    pub fn min_pair_delay(&self, src: usize, dst: usize) -> SimTime {
+        if src == dst {
+            return self.params.local_delivery;
+        }
+        let hop_cost = match &self.torus {
+            Some(t) if src < t.size() && dst < t.size() => {
+                SimTime(self.params.per_hop.0 * t.hops(src, dst) as u64)
+            }
+            _ => SimTime::ZERO,
+        };
+        let worst = (self.params.alpha + hop_cost) * (1.0 - self.params.jitter.clamp(0.0, 1.0));
+        // Same 2 ns rounding guard as `min_remote_delay`.
+        (self.params.injection_overhead + worst).saturating_sub(SimTime::from_nanos(2))
+    }
 }
 
 #[cfg(test)]
@@ -232,6 +253,38 @@ mod tests {
     fn bigger_messages_cost_more() {
         let mut n = NetworkModel::new(NetworkParams::infiniband(), 1);
         assert!(n.delay(0, 1, 10, 0) < n.delay(0, 1, 1_000_000, 0));
+    }
+
+    #[test]
+    fn pair_delay_bounds_actual_delay() {
+        // The pairwise bound must never exceed any actual delivery delay,
+        // for every preset, pair, payload, and jitter token — it is the
+        // safety floor of the sharded engine's adaptive windows.
+        let presets = [
+            NetworkParams::infiniband(),
+            NetworkParams::bgq_torus(vec![4, 4]),
+            NetworkParams::gemini_torus(vec![4, 2, 2]),
+            NetworkParams::ethernet_1g(),
+        ];
+        for p in presets {
+            let mut n = NetworkModel::new(p, 7);
+            for src in 0..8 {
+                for dst in 0..8 {
+                    if src == dst {
+                        continue;
+                    }
+                    let floor = n.min_pair_delay(src, dst);
+                    assert!(floor >= n.min_remote_delay());
+                    for (bytes, token) in [(0usize, 0u64), (8, 1), (4096, 99), (1 << 20, 12345)] {
+                        let d = n.delay(src, dst, bytes, token);
+                        assert!(
+                            d >= floor,
+                            "delay {d:?} under pair floor {floor:?} ({src}->{dst})"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -53,11 +53,11 @@ assert geomean >= 1.25, (
 )
 pp = next(w for w in doc["workloads"] if w["name"] == "ping_pipe")
 
-# Multi-worker scaling entries: right workloads, right thread matrix, sane
-# numbers, and the parallel engine actually engaged at every threads>1
+# Multi-worker scaling entries: all five workloads, right thread matrix,
+# sane numbers, and the parallel engine actually engaged at every threads>1
 # point (a silent sequential fallback would fake perfect scaling).
 scaling = {s["name"]: s for s in doc["parallel_scaling"]}
-assert set(scaling) == {"stencil2d", "leanmd", "pdes"}, (
+assert set(scaling) == expected, (
     f"parallel_scaling workload set mismatch: {sorted(scaling)}"
 )
 for name, s in scaling.items():
@@ -70,8 +70,32 @@ for name, s in scaling.items():
             f"{name}@{p['threads']}: went_parallel={p['went_parallel']} — "
             "engine selection does not match the thread count"
         )
+        assert p["barriers_per_kevent"] >= 0, f"{name}@{p['threads']}: bad wait cadence"
     base = s["points"][0]
     assert abs(base["speedup_vs_seq"] - 1.0) < 1e-9, f"{name}: seq point not 1.0x"
+
+# The adaptive-lookahead work itself: leanmd — the fine-grained workload
+# the lockstep engine lost worst on (0.11x at 2T before per-pair horizons)
+# — must stay at least break-even-ish at 2 workers, and the sparse-traffic
+# workloads must actually elide barriers (cross α-cell edges without a
+# blocking wait). Floors sit below the committed record (leanmd >= 0.5x
+# asserted vs ~0.6-0.9x measured) for 1-core CI steal-time headroom.
+lean2 = next(p for p in scaling["leanmd"]["points"] if p["threads"] == 2)
+assert lean2["speedup_vs_seq"] >= 0.5, (
+    f"leanmd@2T regressed to {lean2['speedup_vs_seq']:.2f}x (< 0.5x floor): "
+    "the adaptive engine is losing to sequential on fine-grained traffic again"
+)
+for name in ("leanmd", "pdes", "stencil2d"):
+    for p in scaling[name]["points"]:
+        if p["threads"] > 1:
+            assert p["barriers_elided"] > 0, (
+                f"{name}@{p['threads']}: zero barriers elided — the adaptive "
+                "scheme degenerated into lockstep"
+            )
+            assert p["lockstep_barriers_per_kevent"] >= p["barriers_per_kevent"], (
+                f"{name}@{p['threads']}: adaptive engine waits more often than "
+                "the lockstep fallback it replaces"
+            )
 
 print(f"BENCH_engine.json ok: {len(doc['workloads'])} workloads, "
       f"geomean {geomean:.2f}x vs pre-opt baseline "
